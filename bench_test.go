@@ -1,0 +1,279 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (see the experiment index in DESIGN.md). Each BenchmarkFig*
+// regenerates its figure once (cached across the reward/latency/runtime
+// variants) and reports the series at the most-loaded x-point as custom
+// metrics, so `go test -bench=. -benchmem` prints the rows the paper
+// plots. The Benchmark<Algorithm>* entries at the bottom measure raw
+// algorithm performance.
+package mecoffload
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mecoffload/internal/core"
+	"mecoffload/internal/experiment"
+	"mecoffload/internal/mec"
+	"mecoffload/internal/sim"
+	"mecoffload/internal/workload"
+)
+
+// benchOpts keeps figure regeneration affordable inside benchmarks while
+// still auditing every run.
+func benchOpts() experiment.Options {
+	return experiment.Options{Repetitions: 2, Seed: 7}
+}
+
+// tableCache lazily computes each figure once per `go test -bench` run.
+type tableCache struct {
+	once sync.Once
+	tbl  *experiment.Table
+	err  error
+}
+
+func (c *tableCache) get(b *testing.B, run func(experiment.Options) (*experiment.Table, error)) *experiment.Table {
+	b.Helper()
+	c.once.Do(func() { c.tbl, c.err = run(benchOpts()) })
+	if c.err != nil {
+		b.Fatal(c.err)
+	}
+	return c.tbl
+}
+
+var (
+	fig3Cache, fig4Cache, fig5Cache, fig6Cache                 tableCache
+	ablRoundCache, ablKappaCache, ablPolicyCache, ablSlotCache tableCache
+	ablDiscCache, exactGapCache, ablRewardCache                tableCache
+	regretOnce                                                 sync.Once
+	regretResult                                               *experiment.RegretResult
+	regretErr                                                  error
+	learningOnce                                               sync.Once
+	learningResult                                             *experiment.LearningCurve
+	learningErr                                                error
+)
+
+// reportSeries emits the metric of every algorithm at the most-loaded
+// x-point of the table.
+func reportSeries(b *testing.B, tbl *experiment.Table, metric experiment.Metric) {
+	b.Helper()
+	row := tbl.Rows[len(tbl.Rows)-1]
+	for _, algo := range tbl.Algorithms {
+		cell := row.Cells[algo]
+		if cell == nil {
+			continue
+		}
+		var v float64
+		switch metric {
+		case experiment.MetricReward:
+			v = cell.Reward.Mean()
+		case experiment.MetricLatency:
+			v = cell.LatencyMS.Mean()
+		case experiment.MetricRuntime:
+			v = cell.RuntimeMS.Mean()
+		case experiment.MetricServed:
+			v = cell.Served.Mean()
+		}
+		b.ReportMetric(v, algo+"_"+string(metric))
+	}
+}
+
+func benchFigure(b *testing.B, cache *tableCache, run func(experiment.Options) (*experiment.Table, error), metric experiment.Metric) {
+	b.Helper()
+	tbl := cache.get(b, run)
+	for i := 0; i < b.N; i++ {
+		reportSeries(b, tbl, metric)
+	}
+}
+
+// E1-E3: Fig. 3 (offline sweep over |R|).
+func BenchmarkFig3Reward(b *testing.B) {
+	benchFigure(b, &fig3Cache, experiment.Fig3, experiment.MetricReward)
+}
+func BenchmarkFig3Latency(b *testing.B) {
+	benchFigure(b, &fig3Cache, experiment.Fig3, experiment.MetricLatency)
+}
+func BenchmarkFig3Runtime(b *testing.B) {
+	benchFigure(b, &fig3Cache, experiment.Fig3, experiment.MetricRuntime)
+}
+
+// E4-E5: Fig. 4 (online sweep over |R|).
+func BenchmarkFig4Reward(b *testing.B) {
+	benchFigure(b, &fig4Cache, experiment.Fig4, experiment.MetricReward)
+}
+func BenchmarkFig4Latency(b *testing.B) {
+	benchFigure(b, &fig4Cache, experiment.Fig4, experiment.MetricLatency)
+}
+
+// E6-E7: Fig. 5 (sweep over |BS|).
+func BenchmarkFig5Reward(b *testing.B) {
+	benchFigure(b, &fig5Cache, experiment.Fig5, experiment.MetricReward)
+}
+func BenchmarkFig5Latency(b *testing.B) {
+	benchFigure(b, &fig5Cache, experiment.Fig5, experiment.MetricLatency)
+}
+
+// E8-E9: Fig. 6 (sweep over max data rate).
+func BenchmarkFig6Reward(b *testing.B) {
+	benchFigure(b, &fig6Cache, experiment.Fig6, experiment.MetricReward)
+}
+func BenchmarkFig6Latency(b *testing.B) {
+	benchFigure(b, &fig6Cache, experiment.Fig6, experiment.MetricLatency)
+}
+
+// E10: Theorem 3 regret validation.
+func BenchmarkRegret(b *testing.B) {
+	regretOnce.Do(func() { regretResult, regretErr = experiment.Regret(benchOpts()) })
+	if regretErr != nil {
+		b.Fatal(regretErr)
+	}
+	last := len(regretResult.Checkpoints) - 1
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(regretResult.Regret[last].Mean(), "regret_T300")
+		b.ReportMetric(regretResult.Bound[last], "bound_T300")
+	}
+}
+
+// A1-A4: ablations.
+func BenchmarkAblationRounding(b *testing.B) {
+	benchFigure(b, &ablRoundCache, experiment.AblationRounding, experiment.MetricReward)
+}
+func BenchmarkAblationKappa(b *testing.B) {
+	benchFigure(b, &ablKappaCache, experiment.AblationKappa, experiment.MetricReward)
+}
+func BenchmarkAblationPolicy(b *testing.B) {
+	benchFigure(b, &ablPolicyCache, experiment.AblationPolicy, experiment.MetricReward)
+}
+func BenchmarkAblationSlotSize(b *testing.B) {
+	benchFigure(b, &ablSlotCache, experiment.AblationSlotSize, experiment.MetricReward)
+}
+func BenchmarkAblationDiscretization(b *testing.B) {
+	benchFigure(b, &ablDiscCache, experiment.AblationDiscretization, experiment.MetricReward)
+}
+
+func BenchmarkAblationRewardModel(b *testing.B) {
+	benchFigure(b, &ablRewardCache, experiment.AblationRewardModel, experiment.MetricReward)
+}
+
+// E11: exact-vs-approximation gap on small instances.
+func BenchmarkExactGap(b *testing.B) {
+	benchFigure(b, &exactGapCache, experiment.ExactGap, experiment.MetricReward)
+}
+
+// E12: learning curve of the threshold bandit.
+func BenchmarkLearningCurve(b *testing.B) {
+	learningOnce.Do(func() { learningResult, learningErr = experiment.Learning(benchOpts()) })
+	if learningErr != nil {
+		b.Fatal(learningErr)
+	}
+	last := len(learningResult.WindowStart) - 1
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(learningResult.Learner[last].Mean(), "learner_lastWindow")
+		b.ReportMetric(learningResult.Fixed[last].Mean(), "fixed_lastWindow")
+	}
+}
+
+// --- Raw algorithm performance benchmarks -------------------------------
+
+func benchFixture(b *testing.B, stations, requests int) (*mec.Network, []*mec.Request) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(99))
+	net, err := mec.RandomNetwork(stations, 3000, 3600, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs, err := workload.Generate(workload.Config{
+		NumRequests: requests, NumStations: stations, GeometricRates: true,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net, reqs
+}
+
+// BenchmarkAppro measures one full Appro run at the paper's largest scale
+// (LP build + simplex + rounding passes), the dominant cost in Fig. 3(c).
+func BenchmarkAppro(b *testing.B) {
+	net, reqs := benchFixture(b, 20, 300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		workload.Reset(reqs)
+		if _, err := core.Appro(net, reqs, rand.New(rand.NewSource(int64(i))), core.ApproOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeu measures one full Heu run at the paper's largest scale.
+func BenchmarkHeu(b *testing.B) {
+	net, reqs := benchFixture(b, 20, 300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		workload.Reset(reqs)
+		if _, err := core.Heu(net, reqs, rand.New(rand.NewSource(int64(i))), core.HeuOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDynamicRRRun measures one full online simulation (120 slots,
+// 300 requests) under DynamicRR, including all per-slot LP-PT solves.
+func BenchmarkDynamicRRRun(b *testing.B) {
+	rng := rand.New(rand.NewSource(98))
+	net, err := mec.RandomNetwork(20, 3000, 3600, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs, err := workload.Generate(workload.Config{
+		NumRequests: 300, NumStations: 20, GeometricRates: true, ArrivalHorizon: 100,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		workload.Reset(reqs)
+		sched, err := sim.NewDynamicRR(sim.DynamicRROptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := sim.NewEngine(net, reqs, rand.New(rand.NewSource(int64(i))), sim.Config{Horizon: 120})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Run(sched); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOnlineBaselines measures the per-run cost of the three online
+// baselines together (they are orders of magnitude cheaper than
+// DynamicRR, matching the paper's running-time discussion).
+func BenchmarkOnlineBaselines(b *testing.B) {
+	rng := rand.New(rand.NewSource(97))
+	net, err := mec.RandomNetwork(20, 3000, 3600, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs, err := workload.Generate(workload.Config{
+		NumRequests: 300, NumStations: 20, GeometricRates: true, ArrivalHorizon: 100,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scheds := []sim.Scheduler{&sim.OnlineOCORP{}, &sim.OnlineGreedy{}, &sim.OnlineHeuKKT{}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, sched := range scheds {
+			workload.Reset(reqs)
+			eng, err := sim.NewEngine(net, reqs, rand.New(rand.NewSource(int64(i))), sim.Config{Horizon: 120})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Run(sched); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

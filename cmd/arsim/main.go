@@ -1,0 +1,196 @@
+// Command arsim runs one online simulation of AR request offloading and
+// prints a per-slot trace: pending queue depth, admissions, realized
+// utilization, and the threshold DynamicRR's bandit currently favors.
+// It is the observability tool for the dynamic reward maximization
+// problem — mecsim aggregates, arsim shows one run unfolding.
+//
+// Usage:
+//
+//	arsim -scheduler dynamicrr -requests 300 -horizon 120 -stations 20
+//	arsim -scheduler ocorp -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"mecoffload/internal/core"
+	"mecoffload/internal/mec"
+	"mecoffload/internal/scenario"
+	"mecoffload/internal/sim"
+	"mecoffload/internal/stats"
+	"mecoffload/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "arsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// traceScheduler wraps a Scheduler and prints a line per slot.
+type traceScheduler struct {
+	sim.Scheduler
+	out io.Writer
+}
+
+func (ts *traceScheduler) Schedule(eng *sim.Engine, res *core.Result, t int, pending []int) ([]int, error) {
+	admitted, err := ts.Scheduler.Schedule(eng, res, t, pending)
+	if err != nil {
+		return nil, err
+	}
+	used := 0.0
+	for _, u := range eng.Used() {
+		used += u
+	}
+	total := eng.Net().TotalCapacity()
+	line := fmt.Sprintf("slot %4d  pending %3d  admitted %3d  utilization %5.1f%%",
+		t, len(pending), len(admitted), 100*used/total)
+	if d, ok := ts.Scheduler.(*sim.DynamicRR); ok && d.Bandit() != nil {
+		if best, ok := d.Bandit().Policy().(interface{ BestArm() int }); ok {
+			line += fmt.Sprintf("  threshold %4.0f MHz", d.Bandit().Value(best.BestArm()))
+		}
+	}
+	fmt.Fprintln(ts.out, line)
+	return admitted, nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("arsim", flag.ContinueOnError)
+	var (
+		schedName = fs.String("scheduler", "dynamicrr", "scheduler: dynamicrr, ocorp, greedy, heukkt")
+		requests  = fs.Int("requests", 300, "number of AR requests")
+		stations  = fs.Int("stations", 20, "number of base stations")
+		horizon   = fs.Int("horizon", 120, "arrival horizon in slots")
+		seed      = fs.Int64("seed", 42, "random seed")
+		trace     = fs.Bool("trace", false, "print one line per slot")
+		hist      = fs.Bool("hist", false, "print the latency histogram of served requests")
+		dumpJSON  = fs.String("dump", "", "write the run trace (decisions + per-slot series) as JSON to this file")
+		scenOut   = fs.String("scenario-out", "", "write the generated scenario as JSON to this file")
+		scenIn    = fs.String("scenario-in", "", "load the scenario from this JSON file instead of generating one")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		net  *mec.Network
+		reqs []*mec.Request
+	)
+	if *scenIn != "" {
+		f, err := os.Open(*scenIn)
+		if err != nil {
+			return err
+		}
+		net, reqs, err = scenario.Read(f)
+		cerr := f.Close()
+		if err != nil {
+			return err
+		}
+		if cerr != nil {
+			return cerr
+		}
+	} else {
+		rng := rand.New(rand.NewSource(*seed))
+		var err error
+		net, err = mec.RandomNetwork(*stations, 3000, 3600, rng)
+		if err != nil {
+			return err
+		}
+		reqs, err = workload.Generate(workload.Config{
+			NumRequests: *requests, NumStations: *stations,
+			GeometricRates: true, ArrivalHorizon: *horizon,
+		}, rng)
+		if err != nil {
+			return err
+		}
+	}
+	if *scenOut != "" {
+		f, err := os.Create(*scenOut)
+		if err != nil {
+			return err
+		}
+		werr := scenario.Write(f, net, reqs)
+		cerr := f.Close()
+		if werr != nil {
+			return werr
+		}
+		if cerr != nil {
+			return cerr
+		}
+	}
+
+	var sched sim.Scheduler
+	switch *schedName {
+	case "dynamicrr":
+		d, err := sim.NewDynamicRR(sim.DynamicRROptions{})
+		if err != nil {
+			return err
+		}
+		sched = d
+	case "ocorp":
+		sched = &sim.OnlineOCORP{}
+	case "greedy":
+		sched = &sim.OnlineGreedy{}
+	case "heukkt":
+		sched = &sim.OnlineHeuKKT{}
+	default:
+		return fmt.Errorf("unknown scheduler %q", *schedName)
+	}
+	if *trace {
+		sched = &traceScheduler{Scheduler: sched, out: out}
+	}
+	var rec *sim.Recorder
+	if *dumpJSON != "" {
+		rec = sim.NewRecorder(sched)
+		sched = rec
+	}
+
+	simHorizon := *horizon + 20
+	eng, err := sim.NewEngine(net, reqs, rand.New(rand.NewSource(*seed+1)), sim.Config{Horizon: simHorizon})
+	if err != nil {
+		return err
+	}
+	res, err := eng.Run(sched)
+	if err != nil {
+		return err
+	}
+	if err := sim.AuditTimeline(net, reqs, res, simHorizon); err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+
+	fmt.Fprintf(out, "\n%s over %d slots: reward=$%.0f served=%d/%d admitted=%d avgLatency=%.1fms runtime=%s\n",
+		res.Algorithm, simHorizon, res.TotalReward, res.Served, len(reqs),
+		res.Admitted, res.AvgLatencyMS(), res.Runtime.Round(1000000))
+	if *hist {
+		h, err := stats.NewHistogram(0, 200, 10)
+		if err != nil {
+			return err
+		}
+		for _, d := range res.Decisions {
+			if d.Served {
+				h.Add(d.LatencyMS)
+			}
+		}
+		fmt.Fprintf(out, "\nserved-request latency (ms):\n%s", h.String())
+	}
+	if *dumpJSON != "" {
+		f, err := os.Create(*dumpJSON)
+		if err != nil {
+			return err
+		}
+		werr := sim.NewRunTrace(res, rec).WriteJSON(f)
+		cerr := f.Close()
+		if werr != nil {
+			return werr
+		}
+		if cerr != nil {
+			return cerr
+		}
+	}
+	return nil
+}

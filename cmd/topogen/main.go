@@ -1,0 +1,87 @@
+// Command topogen generates GT-ITM-style MEC backhaul topologies and
+// prints them as an edge list (or DOT graph) for inspection and for use
+// with external tools.
+//
+// Usage:
+//
+//	topogen -n 20 -seed 1                 # Waxman, edge list
+//	topogen -n 20 -format dot             # Graphviz output
+//	topogen -model transit-stub -core 4 -stubs 2 -stubsize 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"mecoffload/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
+	var (
+		n        = fs.Int("n", 20, "number of base stations (waxman model)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		alpha    = fs.Float64("alpha", topology.DefaultAlpha, "Waxman alpha (edge density)")
+		beta     = fs.Float64("beta", topology.DefaultBeta, "Waxman beta (long-edge frequency)")
+		model    = fs.String("model", "waxman", "topology model: waxman or transit-stub")
+		coreN    = fs.Int("core", 4, "transit-stub: transit core size")
+		stubs    = fs.Int("stubs", 2, "transit-stub: stub domains per transit node")
+		stubSize = fs.Int("stubsize", 3, "transit-stub: nodes per stub domain")
+		format   = fs.String("format", "edges", "output format: edges or dot")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	cfg := topology.Config{N: *n, Alpha: *alpha, Beta: *beta}
+	var (
+		topo *topology.Topology
+		err  error
+	)
+	switch *model {
+	case "waxman":
+		topo, err = topology.Waxman(cfg, rng)
+	case "transit-stub":
+		topo, err = topology.TransitStub(*coreN, *stubs, *stubSize, cfg, rng)
+	default:
+		return fmt.Errorf("unknown model %q", *model)
+	}
+	if err != nil {
+		return err
+	}
+
+	switch *format {
+	case "edges":
+		fmt.Fprintf(out, "# %s topology: %d nodes, %d edges (delay in ms)\n",
+			*model, topo.Graph.N(), topo.Graph.M())
+		for i, node := range topo.Nodes {
+			fmt.Fprintf(out, "node %d %.4f %.4f\n", i, node.X, node.Y)
+		}
+		for _, e := range topo.Graph.Edges() {
+			fmt.Fprintf(out, "edge %d %d %.3f\n", e.U, e.V, e.Weight)
+		}
+	case "dot":
+		fmt.Fprintln(out, "graph mec {")
+		for i, node := range topo.Nodes {
+			fmt.Fprintf(out, "  bs%d [pos=\"%.3f,%.3f!\"];\n", i, node.X*10, node.Y*10)
+		}
+		for _, e := range topo.Graph.Edges() {
+			fmt.Fprintf(out, "  bs%d -- bs%d [label=\"%.1f\"];\n", e.U, e.V, e.Weight)
+		}
+		fmt.Fprintln(out, "}")
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	return nil
+}

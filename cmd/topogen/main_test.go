@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunEdges(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "10", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "waxman topology: 10 nodes") {
+		t.Fatalf("missing header:\n%s", got)
+	}
+	if strings.Count(got, "node ") != 10 {
+		t.Fatalf("want 10 node lines:\n%s", got)
+	}
+	if !strings.Contains(got, "edge ") {
+		t.Fatal("no edges emitted")
+	}
+}
+
+func TestRunDot(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "6", "-format", "dot"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.HasPrefix(got, "graph mec {") || !strings.Contains(got, "--") {
+		t.Fatalf("not DOT output:\n%s", got)
+	}
+}
+
+func TestRunTransitStub(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-model", "transit-stub", "-core", "2", "-stubs", "1", "-stubsize", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "transit-stub topology: 8 nodes") {
+		t.Fatalf("unexpected size:\n%s", out.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-model", "torus"}, &out); err == nil {
+		t.Fatal("want error for unknown model")
+	}
+	if err := run([]string{"-format", "png"}, &out); err == nil {
+		t.Fatal("want error for unknown format")
+	}
+	if err := run([]string{"-n", "0"}, &out); err == nil {
+		t.Fatal("want error for zero nodes")
+	}
+}

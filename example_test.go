@@ -1,0 +1,65 @@
+package mecoffload_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mecoffload"
+)
+
+// ExampleNewScenario shows the shortest path from nothing to a compared
+// pair of algorithm runs on one scenario.
+func ExampleNewScenario() {
+	rng := rand.New(rand.NewSource(42))
+	scn, err := mecoffload.NewScenario(mecoffload.ScenarioConfig{
+		Stations: 10,
+		Requests: 60,
+	}, rng)
+	if err != nil {
+		panic(err)
+	}
+	heu, err := scn.RunOffline(mecoffload.Heu, rand.New(rand.NewSource(1)))
+	if err != nil {
+		panic(err)
+	}
+	greedy, err := scn.RunOffline(mecoffload.Greedy, rand.New(rand.NewSource(1)))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(heu.TotalReward > greedy.TotalReward)
+	// Output: true
+}
+
+// ExampleScenario_RunOnline runs the paper's online learning scheduler on
+// an arrival stream and inspects the outcome.
+func ExampleScenario_RunOnline() {
+	rng := rand.New(rand.NewSource(7))
+	scn, err := mecoffload.NewScenario(mecoffload.ScenarioConfig{
+		Stations:       8,
+		Requests:       80,
+		ArrivalHorizon: 40,
+	}, rng)
+	if err != nil {
+		panic(err)
+	}
+	res, err := scn.RunOnline(mecoffload.DynamicRR, rand.New(rand.NewSource(2)))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Algorithm, res.Served > 0, res.TotalReward > 0)
+	// Output: DynamicRR true true
+}
+
+// ExampleOfflineAlgorithms enumerates what RunOffline accepts.
+func ExampleOfflineAlgorithms() {
+	for _, a := range mecoffload.OfflineAlgorithms() {
+		fmt.Println(a)
+	}
+	// Output:
+	// Exact
+	// Appro
+	// Heu
+	// OCORP
+	// Greedy
+	// HeuKKT
+}

@@ -1,0 +1,3 @@
+module mecoffload
+
+go 1.22

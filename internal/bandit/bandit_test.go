@@ -1,0 +1,251 @@
+package bandit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// playRounds drives a policy against stationary Gaussian arms and returns
+// how often the best arm was played in the final quarter of the run.
+func playRounds(t *testing.T, pol Policy, means []float64, std float64, rounds int, seed int64) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	best := 0
+	for i, m := range means {
+		if m > means[best] {
+			best = i
+		}
+	}
+	bestPlays, tail := 0, 0
+	for r := 0; r < rounds; r++ {
+		arm := pol.Select()
+		reward := means[arm] + rng.NormFloat64()*std
+		pol.Update(arm, reward)
+		if r >= rounds*3/4 {
+			tail++
+			if arm == best {
+				bestPlays++
+			}
+		}
+	}
+	return float64(bestPlays) / float64(tail)
+}
+
+func TestSuccessiveEliminationFindsBestArm(t *testing.T) {
+	se, err := NewSuccessiveElimination(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := []float64{1, 2, 10, 3, 4}
+	frac := playRounds(t, se, means, 0.5, 4000, 1)
+	if frac < 0.9 {
+		t.Fatalf("best arm played %.0f%% of tail rounds, want >= 90%%", frac*100)
+	}
+	if se.BestArm() != 2 {
+		t.Fatalf("BestArm = %d, want 2", se.BestArm())
+	}
+	if se.NumActive() >= 5 {
+		t.Fatalf("no arm eliminated after 4000 clearly-separated rounds (active=%d)", se.NumActive())
+	}
+}
+
+func TestSuccessiveEliminationNeverKillsLastArm(t *testing.T) {
+	se, err := NewSuccessiveElimination(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for r := 0; r < 10000; r++ {
+		arm := se.Select()
+		se.Update(arm, float64(arm)*100+rng.Float64())
+	}
+	if se.NumActive() < 1 {
+		t.Fatal("all arms eliminated")
+	}
+	if !se.Active(se.BestArm()) {
+		t.Fatal("best arm is not active")
+	}
+}
+
+func TestSuccessiveEliminationRoundRobinOverActive(t *testing.T) {
+	se, err := NewSuccessiveElimination(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		arm := se.Select()
+		seen[arm] = true
+		se.Update(arm, 1)
+	}
+	if len(seen) != 4 {
+		t.Fatalf("first 4 selections hit %d distinct arms, want 4", len(seen))
+	}
+}
+
+func TestUCB1FindsBestArm(t *testing.T) {
+	u, err := NewUCB1(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := playRounds(t, u, []float64{1, 2, 10, 3, 4}, 0.5, 4000, 3)
+	if frac < 0.9 {
+		t.Fatalf("UCB1 best-arm tail fraction %.2f, want >= 0.9", frac)
+	}
+}
+
+func TestEpsilonGreedyFindsBestArm(t *testing.T) {
+	e, err := NewEpsilonGreedy(5, 0.1, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := playRounds(t, e, []float64{1, 2, 10, 3, 4}, 0.5, 4000, 5)
+	if frac < 0.8 { // eps=0.1 explores forever; tail fraction ~0.92
+		t.Fatalf("eps-greedy best-arm tail fraction %.2f, want >= 0.8", frac)
+	}
+}
+
+func TestFixedPolicy(t *testing.T) {
+	f, err := NewFixed(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if f.Select() != 2 {
+			t.Fatal("Fixed must always play its arm")
+		}
+		f.Update(2, 1)
+	}
+	if f.NumArms() != 4 {
+		t.Fatalf("NumArms = %d", f.NumArms())
+	}
+	if _, err := NewFixed(3, 5); err == nil {
+		t.Error("want error for arm out of range")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewSuccessiveElimination(0); err == nil {
+		t.Error("SE: want error for 0 arms")
+	}
+	if _, err := NewUCB1(-1); err == nil {
+		t.Error("UCB1: want error for negative arms")
+	}
+	if _, err := NewEpsilonGreedy(3, 1.5, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("eps-greedy: want error for eps > 1")
+	}
+	if _, err := NewEpsilonGreedy(3, math.NaN(), rand.New(rand.NewSource(1))); err == nil {
+		t.Error("eps-greedy: want error for NaN eps")
+	}
+}
+
+func TestMeansAndPlays(t *testing.T) {
+	se, err := NewSuccessiveElimination(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se.Update(0, 10)
+	se.Update(0, 20)
+	se.Update(1, 5)
+	if se.Plays(0) != 2 || se.Plays(1) != 1 {
+		t.Fatalf("plays = %d, %d", se.Plays(0), se.Plays(1))
+	}
+	if se.Mean(0) != 15 || se.Mean(1) != 5 {
+		t.Fatalf("means = %v, %v", se.Mean(0), se.Mean(1))
+	}
+}
+
+func TestLipschitzMapping(t *testing.T) {
+	se, err := NewSuccessiveElimination(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lip, err := NewLipschitz(se, 100, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lip.Kappa() != 5 {
+		t.Fatalf("kappa = %d", lip.Kappa())
+	}
+	if lip.Epsilon() != 100 {
+		t.Fatalf("epsilon = %v, want 100", lip.Epsilon())
+	}
+	wants := []float64{100, 200, 300, 400, 500}
+	for arm, want := range wants {
+		if got := lip.Value(arm); got != want {
+			t.Fatalf("Value(%d) = %v, want %v", arm, got, want)
+		}
+	}
+	arm, v := lip.SelectValue()
+	if v != lip.Value(arm) {
+		t.Fatalf("SelectValue mismatch: arm %d value %v", arm, v)
+	}
+}
+
+func TestLipschitzSingleArm(t *testing.T) {
+	f, err := NewFixed(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lip, err := NewLipschitz(f, 300, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lip.Epsilon() != 0 || lip.Value(0) != 300 {
+		t.Fatalf("single-arm lipschitz: eps=%v value=%v", lip.Epsilon(), lip.Value(0))
+	}
+}
+
+func TestLipschitzValidation(t *testing.T) {
+	se, _ := NewSuccessiveElimination(3)
+	if _, err := NewLipschitz(se, 10, 5); err == nil {
+		t.Error("want error for inverted interval")
+	}
+	if _, err := NewLipschitz(se, math.NaN(), 5); err == nil {
+		t.Error("want error for NaN bound")
+	}
+}
+
+func TestRegretBoundShape(t *testing.T) {
+	se, _ := NewSuccessiveElimination(8)
+	lip, err := NewLipschitz(se, 0, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lip.RegretBound(0, 1) != 0 {
+		t.Fatal("bound at T=0 must be 0")
+	}
+	b1, b2 := lip.RegretBound(100, 1), lip.RegretBound(400, 1)
+	if b2 <= b1 {
+		t.Fatal("bound must grow with T")
+	}
+	// Sub-quadratic growth in T for the sqrt term plus linear term.
+	if b2 >= 4*b1*2 {
+		t.Fatalf("bound grew faster than linear+sqrt: %v -> %v", b1, b2)
+	}
+}
+
+// TestSuccessiveEliminationRegretSublinear measures the empirical regret
+// slope: regret over [0, T] must grow sub-linearly once arms separate.
+func TestSuccessiveEliminationRegretSublinear(t *testing.T) {
+	means := []float64{5, 7, 9, 6}
+	run := func(rounds int) float64 {
+		se, err := NewSuccessiveElimination(len(means))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(77))
+		regret := 0.0
+		for r := 0; r < rounds; r++ {
+			arm := se.Select()
+			se.Update(arm, means[arm]+rng.NormFloat64())
+			regret += means[2] - means[arm]
+		}
+		return regret
+	}
+	r1, r2 := run(2000), run(8000)
+	if r2 > 2.5*r1 {
+		t.Fatalf("regret grew ~linearly: %v at 2000 vs %v at 8000 rounds", r1, r2)
+	}
+}

@@ -1,0 +1,48 @@
+package bandit_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mecoffload/internal/bandit"
+)
+
+// ExampleLipschitz shows the threshold-learning loop DynamicRR runs each
+// time slot: discretize a continuous interval, pick an arm, observe the
+// slot reward, feed it back.
+func ExampleLipschitz() {
+	se, err := bandit.NewSuccessiveElimination(8)
+	if err != nil {
+		panic(err)
+	}
+	lip, err := bandit.NewLipschitz(se, 200, 1200)
+	if err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	landscape := func(th float64) float64 { return 900 - 0.004*(th-600)*(th-600) }
+	for t := 0; t < 2000; t++ {
+		arm, th := lip.SelectValue()
+		lip.Update(arm, landscape(th)+rng.NormFloat64()*20)
+	}
+	best := se.BestArm()
+	fmt.Printf("kappa=%d eps=%g best=%gMHz\n", lip.Kappa(), lip.Epsilon(), lip.Value(best))
+	// Output: kappa=8 eps=142.85714285714286 best=628.5714285714286MHz
+}
+
+// ExampleZooming runs the adaptive-discretization variant on the same
+// landscape; the arm set refines itself instead of using a fixed grid.
+func ExampleZooming() {
+	z, err := bandit.NewZooming(200, 1200, 0)
+	if err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	landscape := func(th float64) float64 { return 900 - 0.004*(th-600)*(th-600) }
+	for t := 0; t < 2000; t++ {
+		arm, th := z.SelectValue()
+		z.Update(arm, landscape(th)+rng.NormFloat64()*20)
+	}
+	fmt.Printf("close=%v\n", z.BestValue() > 400 && z.BestValue() < 800)
+	// Output: close=true
+}

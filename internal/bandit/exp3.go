@@ -1,0 +1,165 @@
+package bandit
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Exp3 is the adversarial-bandit policy (exponential weights with
+// explicit exploration), in its fixed-share variant Exp3.S. DynamicRR's
+// slot rewards are not i.i.d. — the pending mix, residual capacity, and
+// departures drift over time — so the stochastic guarantees behind
+// successive elimination do not strictly apply; Exp3's adversarial regret
+// bound O(sqrt(k T log k)) does, and the fixed-share mixing step lets the
+// policy track a shifting optimum instead of committing forever to early
+// winners. Offered as an alternative arm-selection policy and ablation
+// point.
+type Exp3 struct {
+	weights []float64
+	// gamma is the exploration fraction in (0, 1].
+	gamma float64
+	// alpha is the fixed-share mixing fraction (Exp3.S); each update
+	// redistributes alpha of the total weight uniformly, bounding how
+	// far any arm can fall behind.
+	alpha float64
+	rng   *rand.Rand
+	// Observed reward range for scale-free loss normalization.
+	minObs, maxObs float64
+	seen           bool
+	plays          []int
+	sums           []float64
+	lastProb       float64
+	lastArm        int
+}
+
+var _ Policy = (*Exp3)(nil)
+
+// NewExp3 creates the policy over k arms with exploration fraction gamma
+// (zero selects 0.1) and the default fixed-share rate.
+func NewExp3(k int, gamma float64, rng *rand.Rand) (*Exp3, error) {
+	return NewExp3S(k, gamma, 0.002, rng)
+}
+
+// NewExp3S creates the fixed-share variant with explicit mixing rate
+// alpha in [0, 1) (0 recovers classic Exp3).
+func NewExp3S(k int, gamma, alpha float64, rng *rand.Rand) (*Exp3, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: k=%d", ErrNoArms, k)
+	}
+	if gamma == 0 {
+		gamma = 0.1
+	}
+	if gamma < 0 || gamma > 1 || math.IsNaN(gamma) {
+		return nil, fmt.Errorf("bandit: gamma %v out of (0, 1]", gamma)
+	}
+	if alpha < 0 || alpha >= 1 || math.IsNaN(alpha) {
+		return nil, fmt.Errorf("bandit: alpha %v out of [0, 1)", alpha)
+	}
+	e := &Exp3{
+		weights: make([]float64, k),
+		gamma:   gamma,
+		alpha:   alpha,
+		rng:     rng,
+		plays:   make([]int, k),
+		sums:    make([]float64, k),
+		lastArm: -1,
+	}
+	for i := range e.weights {
+		e.weights[i] = 1
+	}
+	return e, nil
+}
+
+// NumArms implements Policy.
+func (e *Exp3) NumArms() int { return len(e.weights) }
+
+// Plays implements Policy.
+func (e *Exp3) Plays(arm int) int { return e.plays[arm] }
+
+// Mean implements Policy.
+func (e *Exp3) Mean(arm int) float64 {
+	if e.plays[arm] == 0 {
+		return 0
+	}
+	return e.sums[arm] / float64(e.plays[arm])
+}
+
+// probs returns the current sampling distribution.
+func (e *Exp3) probs() []float64 {
+	k := float64(len(e.weights))
+	total := 0.0
+	for _, w := range e.weights {
+		total += w
+	}
+	out := make([]float64, len(e.weights))
+	for i, w := range e.weights {
+		out[i] = (1-e.gamma)*w/total + e.gamma/k
+	}
+	return out
+}
+
+// Select implements Policy: sample an arm from the exponential-weights
+// mixture.
+func (e *Exp3) Select() int {
+	p := e.probs()
+	u := e.rng.Float64()
+	acc := 0.0
+	for i, pi := range p {
+		acc += pi
+		if u < acc {
+			e.lastArm, e.lastProb = i, pi
+			return i
+		}
+	}
+	last := len(p) - 1
+	e.lastArm, e.lastProb = last, p[last]
+	return last
+}
+
+// Update implements Policy: importance-weighted exponential update. The
+// reward is normalized to [0, 1] by the running observed range so the
+// learning rate stays meaningful on dollar-scale rewards.
+func (e *Exp3) Update(arm int, reward float64) {
+	e.plays[arm]++
+	e.sums[arm] += reward
+	if !e.seen {
+		e.minObs, e.maxObs, e.seen = reward, reward, true
+	} else {
+		e.minObs = math.Min(e.minObs, reward)
+		e.maxObs = math.Max(e.maxObs, reward)
+	}
+	span := e.maxObs - e.minObs
+	norm := 0.5
+	if span > 0 {
+		norm = (reward - e.minObs) / span
+	}
+	prob := e.lastProb
+	if arm != e.lastArm || prob <= 0 {
+		// Update for an arm Exp3 did not sample itself (external play):
+		// use the current mixture probability.
+		prob = e.probs()[arm]
+	}
+	k := float64(len(e.weights))
+	est := norm / prob
+	e.weights[arm] *= math.Exp(e.gamma * est / k)
+	// Fixed-share step (Exp3.S): mix a fraction of the total weight back
+	// uniformly so no arm's weight decays irrecoverably.
+	if e.alpha > 0 {
+		total := 0.0
+		for _, w := range e.weights {
+			total += w
+		}
+		share := e.alpha * total / k
+		for i := range e.weights {
+			e.weights[i] = (1-e.alpha)*e.weights[i] + share
+		}
+	}
+	// Renormalize weights occasionally to avoid overflow.
+	if e.weights[arm] > 1e12 {
+		for i := range e.weights {
+			e.weights[i] /= 1e12
+		}
+	}
+	e.lastArm, e.lastProb = -1, 0
+}

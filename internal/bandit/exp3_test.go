@@ -1,0 +1,103 @@
+package bandit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestExp3Validation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewExp3(0, 0.1, rng); err == nil {
+		t.Error("want error for zero arms")
+	}
+	if _, err := NewExp3(3, -0.5, rng); err == nil {
+		t.Error("want error for negative gamma")
+	}
+	if _, err := NewExp3(3, 1.5, rng); err == nil {
+		t.Error("want error for gamma > 1")
+	}
+	if _, err := NewExp3(3, math.NaN(), rng); err == nil {
+		t.Error("want error for NaN gamma")
+	}
+	e, err := NewExp3(4, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumArms() != 4 {
+		t.Fatalf("NumArms = %d", e.NumArms())
+	}
+}
+
+func TestExp3FindsBestArmStochastic(t *testing.T) {
+	e, err := NewExp3(5, 0.1, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := playRounds(t, e, []float64{1, 2, 10, 3, 4}, 0.5, 6000, 3)
+	if frac < 0.6 { // Exp3 keeps exploring by design
+		t.Fatalf("Exp3 best-arm tail fraction %.2f, want >= 0.6", frac)
+	}
+}
+
+// TestExp3TracksShiftingOptimum: the reason Exp3 exists here — when the
+// best arm changes mid-stream, exponential weights adapt, while frozen
+// eliminations cannot.
+func TestExp3TracksShiftingOptimum(t *testing.T) {
+	e, err := NewExp3(3, 0.15, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	meansA := []float64{10, 2, 2}
+	meansB := []float64{2, 2, 10}
+	const half = 4000
+	hitsSecondHalf := 0
+	for r := 0; r < 2*half; r++ {
+		means := meansA
+		if r >= half {
+			means = meansB
+		}
+		arm := e.Select()
+		e.Update(arm, means[arm]+rng.NormFloat64()*0.5)
+		if r >= half+half/2 && arm == 2 {
+			hitsSecondHalf++
+		}
+	}
+	frac := float64(hitsSecondHalf) / float64(half/2)
+	if frac < 0.5 {
+		t.Fatalf("Exp3 played the new optimum only %.0f%% after the shift", frac*100)
+	}
+}
+
+func TestExp3MeansAndPlays(t *testing.T) {
+	e, err := NewExp3(2, 0.2, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Select()
+	e.Update(0, 4)
+	e.Update(0, 8)
+	if e.Plays(0) != 2 || e.Mean(0) != 6 {
+		t.Fatalf("plays=%d mean=%v", e.Plays(0), e.Mean(0))
+	}
+	if e.Mean(1) != 0 {
+		t.Fatalf("unplayed arm mean %v", e.Mean(1))
+	}
+}
+
+func TestExp3WeightsStayFinite(t *testing.T) {
+	e, err := NewExp3(2, 1, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 50000; r++ {
+		arm := e.Select()
+		e.Update(arm, 1000) // constant huge reward stresses the weights
+	}
+	for i, w := range e.weights {
+		if math.IsInf(w, 0) || math.IsNaN(w) {
+			t.Fatalf("weight %d = %v", i, w)
+		}
+	}
+}

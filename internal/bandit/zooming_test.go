@@ -1,0 +1,97 @@
+package bandit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestZoomingValidation(t *testing.T) {
+	if _, err := NewZooming(10, 5, 0); err == nil {
+		t.Error("want error for inverted interval")
+	}
+	if _, err := NewZooming(math.NaN(), 5, 0); err == nil {
+		t.Error("want error for NaN bound")
+	}
+	if _, err := NewZooming(0, 1, 1); err == nil {
+		t.Error("want error for degenerate probe grid")
+	}
+}
+
+func TestZoomingStartsAtMidpoint(t *testing.T) {
+	z, err := NewZooming(100, 300, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.NumArms() != 1 || z.ArmValue(0) != 200 {
+		t.Fatalf("initial arm set: %d arms, first at %v", z.NumArms(), z.ArmValue(0))
+	}
+	arm, v := z.SelectValue()
+	if v != z.ArmValue(arm) {
+		t.Fatal("SelectValue inconsistent with ArmValue")
+	}
+}
+
+// TestZoomingConvergesToOptimum plays a smooth unimodal landscape and
+// checks the learner concentrates near its maximum.
+func TestZoomingConvergesToOptimum(t *testing.T) {
+	z, err := NewZooming(0, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	landscape := func(x float64) float64 { return 100 - 0.001*(x-700)*(x-700) }
+	for round := 0; round < 5000; round++ {
+		arm, x := z.SelectValue()
+		z.Update(arm, landscape(x)+rng.NormFloat64()*5)
+	}
+	if got := z.BestValue(); math.Abs(got-700) > 150 {
+		t.Fatalf("best value %v, want near 700", got)
+	}
+	if z.NumArms() < 2 {
+		t.Fatal("zooming never activated additional arms")
+	}
+}
+
+// TestZoomingRefinesNearOptimum: the arm density around the optimum must
+// exceed the density far from it.
+func TestZoomingRefinesNearOptimum(t *testing.T) {
+	z, err := NewZooming(0, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	landscape := func(x float64) float64 { return 100 - 0.0008*(x-250)*(x-250) }
+	for round := 0; round < 8000; round++ {
+		arm, x := z.SelectValue()
+		z.Update(arm, landscape(x)+rng.NormFloat64()*3)
+	}
+	near, far := 0, 0
+	for i := 0; i < z.NumArms(); i++ {
+		if math.Abs(z.ArmValue(i)-250) <= 200 {
+			near++
+		} else {
+			far++
+		}
+	}
+	if near <= far/2 {
+		t.Fatalf("arms near optimum %d vs far %d: no refinement", near, far)
+	}
+}
+
+func TestZoomingDegenerateInterval(t *testing.T) {
+	z, err := NewZooming(500, 500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 50; round++ {
+		arm, v := z.SelectValue()
+		if v != 500 {
+			t.Fatalf("degenerate interval selected %v", v)
+		}
+		z.Update(arm, 1)
+	}
+	if z.NumArms() != 1 {
+		t.Fatalf("degenerate interval grew %d arms", z.NumArms())
+	}
+}

@@ -1,0 +1,197 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"mecoffload/internal/core"
+	"mecoffload/internal/mec"
+	"mecoffload/internal/workload"
+)
+
+func fixture(t *testing.T, stations, requests int, seed int64) (*mec.Network, []*mec.Request) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net, err := mec.RandomNetwork(stations, 3000, 3600, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := workload.Generate(workload.Config{
+		NumRequests: requests, NumStations: stations, GeometricRates: true,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, reqs
+}
+
+type runner func(*mec.Network, []*mec.Request, *rand.Rand, Options) (*core.Result, error)
+
+func runners() map[string]runner {
+	return map[string]runner{
+		"OCORP":  OCORP,
+		"Greedy": Greedy,
+		"HeuKKT": HeuKKT,
+	}
+}
+
+func TestBaselinesFeasible(t *testing.T) {
+	net, reqs := fixture(t, 10, 80, 1)
+	for name, run := range runners() {
+		t.Run(name, func(t *testing.T) {
+			workload.Reset(reqs)
+			res, err := run(net, reqs, rand.New(rand.NewSource(2)), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := core.Audit(net, reqs, res); err != nil {
+				t.Fatalf("audit: %v", err)
+			}
+			if res.Served == 0 {
+				t.Fatal("baseline served nothing on an uncongested instance")
+			}
+			if res.Algorithm != name {
+				t.Fatalf("algorithm label %q, want %q", res.Algorithm, name)
+			}
+		})
+	}
+}
+
+func TestBaselinesRejectBadInput(t *testing.T) {
+	net, reqs := fixture(t, 3, 5, 3)
+	rng := rand.New(rand.NewSource(4))
+	for name, run := range runners() {
+		if _, err := run(nil, reqs, rng, Options{}); err == nil {
+			t.Errorf("%s: want error for nil network", name)
+		}
+		if _, err := run(net, nil, rng, Options{}); err == nil {
+			t.Errorf("%s: want error for empty workload", name)
+		}
+	}
+}
+
+func TestBaselinesNeverEvict(t *testing.T) {
+	net, reqs := fixture(t, 5, 120, 5)
+	for name, run := range runners() {
+		workload.Reset(reqs)
+		res, err := run(net, reqs, rand.New(rand.NewSource(6)), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range res.Decisions {
+			if d.Evicted {
+				t.Fatalf("%s evicted request %d: baselines are uncertainty-oblivious", name, d.RequestID)
+			}
+		}
+	}
+}
+
+// TestOverloadCostsObliviousBaselines: under heavy load with uncertain
+// demands, the oblivious baselines must lose some admitted requests to
+// overload (served < admitted) — the mechanism behind the paper's reward
+// gap.
+func TestOverloadCostsObliviousBaselines(t *testing.T) {
+	net, reqs := fixture(t, 10, 200, 7)
+	sawLoss := false
+	for _, run := range []runner{OCORP, HeuKKT} {
+		workload.Reset(reqs)
+		res, err := run(net, reqs, rand.New(rand.NewSource(8)), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Served < res.Admitted {
+			sawLoss = true
+		}
+	}
+	if !sawLoss {
+		t.Fatal("expected at least one baseline to lose admitted requests to overload")
+	}
+}
+
+func TestGreedyPrefersLowLatencyStations(t *testing.T) {
+	net, reqs := fixture(t, 10, 60, 9)
+	workload.Reset(reqs)
+	res, err := Greedy(net, reqs, rand.New(rand.NewSource(10)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every admitted request's station must be deadline-feasible and its
+	// recorded latency the true service delay.
+	for _, d := range res.Decisions {
+		if !d.Admitted {
+			continue
+		}
+		r := reqs[d.RequestID]
+		want := r.ServiceDelayMS(net, d.Station)
+		if d.LatencyMS != want {
+			t.Fatalf("request %d latency %v, want %v", d.RequestID, d.LatencyMS, want)
+		}
+	}
+}
+
+func TestHeuKKTRespectsWaterLevel(t *testing.T) {
+	net, reqs := fixture(t, 6, 150, 11)
+	workload.Reset(reqs)
+	res, err := HeuKKT(net, reqs, rand.New(rand.NewSource(12)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected (planned) load per station must respect 0.9 * capacity.
+	expected := make([]float64, net.NumStations())
+	for _, d := range res.Decisions {
+		if !d.Admitted {
+			continue
+		}
+		expected[d.Station] += net.RateToMHz(reqs[d.RequestID].ExpectedRate())
+	}
+	for i, e := range expected {
+		if e > 0.9*net.Capacity(i)+1e-6 {
+			t.Fatalf("station %d planned at %.0f MHz, above the 0.9 water level of %.0f",
+				i, e, net.Capacity(i))
+		}
+	}
+}
+
+// TestShapeFig3 reproduces the paper's Fig. 3 ordering at one congested
+// point: Heu >= Appro > {HeuKKT, OCORP} > Greedy on reward, with the
+// latency-greedy baselines at or below the LP algorithms on latency.
+func TestShapeFig3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("LP-heavy shape test")
+	}
+	net, reqs := fixture(t, 20, 300, 13)
+	rewards := map[string]float64{}
+	run := func(name string, f func() (*core.Result, error)) *core.Result {
+		workload.Reset(reqs)
+		res, err := f()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := core.Audit(net, reqs, res); err != nil {
+			t.Fatalf("%s audit: %v", name, err)
+		}
+		rewards[name] = res.TotalReward
+		return res
+	}
+	run("OCORP", func() (*core.Result, error) { return OCORP(net, reqs, rand.New(rand.NewSource(9)), Options{}) })
+	run("Greedy", func() (*core.Result, error) { return Greedy(net, reqs, rand.New(rand.NewSource(9)), Options{}) })
+	run("HeuKKT", func() (*core.Result, error) { return HeuKKT(net, reqs, rand.New(rand.NewSource(9)), Options{}) })
+	run("Appro", func() (*core.Result, error) {
+		return core.Appro(net, reqs, rand.New(rand.NewSource(9)), core.ApproOptions{})
+	})
+	run("Heu", func() (*core.Result, error) {
+		return core.Heu(net, reqs, rand.New(rand.NewSource(9)), core.HeuOptions{})
+	})
+
+	if rewards["Heu"] < rewards["Appro"]*0.97 {
+		t.Errorf("Heu (%v) should not trail Appro (%v)", rewards["Heu"], rewards["Appro"])
+	}
+	for _, base := range []string{"OCORP", "Greedy", "HeuKKT"} {
+		if rewards["Appro"] <= rewards[base] {
+			t.Errorf("Appro (%v) should beat %s (%v)", rewards["Appro"], base, rewards[base])
+		}
+	}
+	if rewards["Greedy"] >= rewards["OCORP"] {
+		t.Errorf("Greedy (%v) should be the weakest baseline (OCORP %v)", rewards["Greedy"], rewards["OCORP"])
+	}
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"mecoffload/internal/mec"
+)
+
+// maxAutoPasses bounds the iterative-rounding loop when Passes is 0.
+const maxAutoPasses = 16
+
+// ApproOptions tunes Algorithm 1.
+type ApproOptions struct {
+	// SlotLengthMS converts waiting slots into milliseconds (default
+	// mec.DefaultSlotLengthMS).
+	SlotLengthMS float64
+	// RoundingDenominator is the divisor in the rounding probability
+	// y_jil / denominator. The paper uses 4 (Lemma 2 depends on it);
+	// other values are exposed for the ablation study. Zero selects 4.
+	RoundingDenominator float64
+	// Passes controls iterative rounding. Passes == 1 runs the literal
+	// Algorithm 1: one LP solve, one randomized rounding, one slot-by-slot
+	// admission sweep — the variant Theorem 1's 1/8 ratio is proved for.
+	// Passes == 0 (the default used in the experiments) repeats the
+	// procedure on the residual instance (undecided requests, residual
+	// capacities) until a pass admits nothing, which only adds reward:
+	// each pass individually retains the per-pass guarantee, and the
+	// union fills the capacity the single analyzed pass leaves idle by
+	// design (it admits each request with probability <= y/4).
+	Passes int
+}
+
+func (o *ApproOptions) fill() {
+	if o.SlotLengthMS == 0 {
+		o.SlotLengthMS = mec.DefaultSlotLengthMS
+	}
+	if o.RoundingDenominator == 0 {
+		o.RoundingDenominator = 4
+	}
+}
+
+// tentative is one rounded (request, station, slot) pre-assignment.
+type tentative struct {
+	req     int
+	station int
+	slot    int
+}
+
+// Appro is Algorithm 1: the randomized 1/8-approximation for the reward
+// maximization problem with the tasks of each request consolidated into a
+// single base station.
+//
+//  1. Solve the resource-slot-indexed LP relaxation.
+//  2. Assign request r_j to slot l of station bs_i with probability
+//     y_jil/4 (and leave it unassigned with the residual probability).
+//  3. Admit slot-by-slot: at slot l of each station, candidates are
+//     considered in increasing (expected) data-rate order and admitted
+//     only while the realized occupancy of already-admitted requests is
+//     at most l*C_l.
+//
+// Rates realize (and rewards are earned or forfeited) only after
+// admission, exactly as in the paper's model of uncertain demands.
+func Appro(n *mec.Network, reqs []*mec.Request, rng *rand.Rand, opts ApproOptions) (*Result, error) {
+	opts.fill()
+	return runRounding(n, reqs, rng, opts, "Appro", nil)
+}
+
+// runRounding is the shared engine of Appro and Heu: iterative LP-guided
+// randomized rounding with slot-by-slot admission, optionally with Heu's
+// task-migration hook.
+func runRounding(n *mec.Network, reqs []*mec.Request, rng *rand.Rand, opts ApproOptions, name string, mkHooks func(*Result, []float64) admissionHooks) (*Result, error) {
+	if n == nil {
+		return nil, ErrNilNetwork
+	}
+	if len(reqs) == 0 {
+		return nil, ErrNoRequests
+	}
+	start := time.Now()
+
+	res := &Result{Algorithm: name, Decisions: make([]Decision, len(reqs))}
+	for j := range res.Decisions {
+		res.Decisions[j] = Decision{RequestID: j, Station: -1}
+	}
+
+	used := make([]float64, n.NumStations()) // realized MHz per station
+	var hooks admissionHooks
+	if mkHooks != nil {
+		hooks = mkHooks(res, used)
+	}
+
+	undecided := make([]int, len(reqs))
+	for j := range undecided {
+		undecided[j] = j
+	}
+	maxPasses := opts.Passes
+	if maxPasses <= 0 {
+		maxPasses = maxAutoPasses
+	}
+
+	slotMHz := n.SlotMHz()
+	for pass := 0; pass < maxPasses && len(undecided) > 0; pass++ {
+		if pass > 0 {
+			// Refine the slot grid on the residual instance: leftovers
+			// smaller than one default slot would otherwise be invisible
+			// to the slot-indexed relaxation. Pass 0 always uses the
+			// paper's grid.
+			if half := slotMHz / 2; half >= n.SlotMHz()/8 {
+				slotMHz = half
+			}
+		}
+		capOf := func(i int) float64 { return n.Capacity(i) - used[i] }
+		model, err := buildLP(n, reqs, lpOptions{
+			active:       undecided,
+			capOf:        capOf,
+			slotMHz:      slotMHz,
+			slotLengthMS: opts.SlotLengthMS,
+		})
+		if err != nil {
+			return nil, err
+		}
+		y, lpOpt, err := model.solve()
+		if err != nil {
+			return nil, err
+		}
+		if pass == 0 {
+			res.ExpectedLPBound = lpOpt
+		}
+		if len(y) == 0 {
+			break
+		}
+
+		pre := roundAssignments(model, y, reqs, rng, opts.RoundingDenominator)
+		admitted := admitSlotBySlot(n, reqs, pre, rng, opts.SlotLengthMS, slotMHz, res, hooks, used, nil)
+		if admitted == 0 {
+			break
+		}
+		next := undecided[:0]
+		for _, j := range undecided {
+			if !res.Decisions[j].Admitted {
+				next = append(next, j)
+			}
+		}
+		undecided = next
+	}
+
+	if hooks.finish != nil {
+		hooks.finish()
+	}
+	Evaluate(n, reqs, res, rng)
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+// roundAssignments performs Algorithm 1 step 2: each request lands on
+// (i, l) with probability y_jil/denom, or nowhere.
+func roundAssignments(model *lpModel, y []float64, reqs []*mec.Request, rng *rand.Rand, denom float64) []tentative {
+	var pre []tentative
+	for j := range reqs {
+		if len(model.byReq[j]) == 0 {
+			continue
+		}
+		u := rng.Float64()
+		acc := 0.0
+		for _, idx := range model.byReq[j] {
+			acc += y[idx] / denom
+			if u < acc {
+				sv := model.vars[idx]
+				pre = append(pre, tentative{req: j, station: sv.station, slot: sv.slot})
+				break
+			}
+		}
+	}
+	return pre
+}
+
+// migrator is Heu's congestion hook: given the station whose occupancy
+// test failed, the slot index, and the per-station occupancy this pass, it
+// may free resources by migrating a task of an already-admitted request.
+// It reports whether it changed anything; the caller re-tests admission.
+type migrator func(station int, slot int, passUsed func(int) float64) bool
+
+// overflowHandler is Heu's distribution hook: called when request req's
+// realized demand does not fit station, it may distribute some of the
+// request's tasks to other stations so the remainder fits. It updates the
+// occupancy ledger and the decision's TaskStations/LatencyMS itself and
+// reports success; on failure the request is evicted.
+type overflowHandler func(req, station int) bool
+
+// admissionHooks bundles the extension points that turn Algorithm 1's
+// admission sweep into Algorithm 2.
+type admissionHooks struct {
+	migrate  migrator
+	overflow overflowHandler
+	// finish runs once after the rounding passes converge and before the
+	// final evaluation; Heu uses it to distribute still-rejected requests
+	// over fragmented residual capacity.
+	finish func()
+}
+
+// admitSlotBySlot performs Algorithm 1 steps 3-7 over the tentative
+// assignments, filling res, and returns the number of newly admitted
+// requests. used is the global realized-occupancy ledger (MHz per
+// station); the per-slot occupancy test measures only this pass's growth
+// on top of the snapshot taken at entry. When migrate is non-nil
+// (Algorithm 2), a failed occupancy test triggers one migration attempt
+// before the request is rejected.
+func admitSlotBySlot(n *mec.Network, reqs []*mec.Request, pre []tentative, rng *rand.Rand, slotLenMS, slotMHz float64, res *Result, hooks admissionHooks, used []float64, waitOf func(int) int) int {
+	base := make([]float64, len(used))
+	copy(base, used)
+	passUsed := func(i int) float64 { return used[i] - base[i] }
+
+	// Group tentative assignments by (station, slot).
+	type key struct{ station, slot int }
+	groups := make(map[key][]int)
+	maxSlot := 0
+	for _, t := range pre {
+		k := key{t.station, t.slot}
+		groups[k] = append(groups[k], t.req)
+		if t.slot > maxSlot {
+			maxSlot = t.slot
+		}
+	}
+
+	admitted := 0
+	for l := 1; l <= maxSlot; l++ {
+		for i := 0; i < n.NumStations(); i++ {
+			cand := groups[key{i, l}]
+			if len(cand) == 0 {
+				continue
+			}
+			// Candidates in increasing expected data rate: the realized
+			// rate is still hidden at this point.
+			sort.Slice(cand, func(a, b int) bool {
+				ra, rb := reqs[cand[a]].ExpectedRate(), reqs[cand[b]].ExpectedRate()
+				if ra != rb {
+					return ra < rb
+				}
+				return cand[a] < cand[b]
+			})
+			limit := float64(l) * slotMHz
+			for _, j := range cand {
+				if passUsed(i) > limit {
+					if hooks.migrate == nil || !hooks.migrate(i, l, passUsed) || passUsed(i) > limit {
+						continue // reject r_j (Algorithm 1 step 6 fails)
+					}
+				}
+				r := reqs[j]
+				d := &res.Decisions[j]
+				d.Admitted = true
+				d.Station = i
+				d.Slot = l
+				if waitOf != nil {
+					d.WaitSlots = waitOf(j)
+				}
+				d.TaskStations = consolidated(r, i)
+				d.LatencyMS = latencyOf(n, r, d.TaskStations, d.WaitSlots, slotLenMS)
+				admitted++
+				// The rate instantiates and reveals on scheduling. The
+				// algorithm watches realized demand: an overflowing
+				// request is evicted before it can overload the station
+				// (it earns nothing, per Eq. (8)).
+				out := r.Realize(rng)
+				demand := n.RateToMHz(out.Rate)
+				switch {
+				case used[i]+demand <= n.Capacity(i):
+					used[i] += demand
+				case hooks.overflow != nil && hooks.overflow(j, i):
+					// Distributed across stations; ledgers updated by the
+					// hook.
+				default:
+					d.Evicted = true
+				}
+			}
+		}
+	}
+	return admitted
+}

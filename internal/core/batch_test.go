@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mecoffload/internal/mec"
+	"mecoffload/internal/workload"
+)
+
+func newBatchResult(reqs []*mec.Request) *Result {
+	res := &Result{Algorithm: "batch", Decisions: make([]Decision, len(reqs))}
+	for j := range res.Decisions {
+		res.Decisions[j] = Decision{RequestID: j, Station: -1}
+	}
+	return res
+}
+
+func TestScheduleBatchBasic(t *testing.T) {
+	net := testNetwork(t, 6, 61)
+	reqs := testWorkload(t, 30, 6, 62)
+	res := newBatchResult(reqs)
+	used := make([]float64, net.NumStations())
+	admitted, err := ScheduleBatch(net, reqs, res, rand.New(rand.NewSource(63)), BatchOptions{
+		Active:     []int{0, 1, 2, 3, 4, 5, 6, 7},
+		Used:       used,
+		Distribute: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if admitted == 0 {
+		t.Fatal("batch admitted nothing on an empty network")
+	}
+	// Requests outside Active must stay untouched.
+	for j := 8; j < len(reqs); j++ {
+		if res.Decisions[j].Admitted {
+			t.Fatalf("request %d outside the batch was admitted", j)
+		}
+	}
+	// The ledger must equal the realized shares of admitted, non-evicted
+	// requests.
+	want := make([]float64, net.NumStations())
+	for j := 0; j < 8; j++ {
+		d := res.Decisions[j]
+		if !d.Admitted || d.Evicted {
+			continue
+		}
+		out, ok := reqs[j].Realized()
+		if !ok {
+			t.Fatalf("admitted request %d not realized", j)
+		}
+		for k, st := range d.TaskStations {
+			want[st] += demandShare(net, reqs[j], k, out.Rate)
+		}
+	}
+	for i := range want {
+		if diff := want[i] - used[i]; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("station %d ledger %v, want %v", i, used[i], want[i])
+		}
+	}
+	for i, u := range used {
+		if u > net.Capacity(i)+1e-6 {
+			t.Fatalf("station %d over capacity: %v", i, u)
+		}
+	}
+}
+
+func TestScheduleBatchRespectsWaits(t *testing.T) {
+	net := testNetwork(t, 5, 64)
+	reqs := testWorkload(t, 10, 5, 65)
+	res := newBatchResult(reqs)
+	used := make([]float64, net.NumStations())
+	// An enormous wait makes every placement deadline-infeasible.
+	_, err := ScheduleBatch(net, reqs, res, rand.New(rand.NewSource(66)), BatchOptions{
+		Active:    []int{0, 1, 2},
+		Used:      used,
+		WaitSlots: func(int) int { return 1000 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		if res.Decisions[j].Admitted {
+			t.Fatalf("request %d admitted despite impossible wait", j)
+		}
+	}
+	// A realistic wait is reflected in the recorded decision.
+	_, err = ScheduleBatch(net, reqs, res, rand.New(rand.NewSource(67)), BatchOptions{
+		Active:    []int{3, 4, 5, 6},
+		Used:      used,
+		WaitSlots: func(int) int { return 1 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 3; j < 7; j++ {
+		d := res.Decisions[j]
+		if !d.Admitted {
+			continue
+		}
+		if d.WaitSlots != 1 {
+			t.Fatalf("request %d wait %d, want 1", j, d.WaitSlots)
+		}
+		if d.LatencyMS <= mec.DefaultSlotLengthMS {
+			t.Fatalf("request %d latency %v must include the waiting slot", j, d.LatencyMS)
+		}
+	}
+}
+
+func TestScheduleBatchShareCapLimitsPerStationMass(t *testing.T) {
+	net := testNetwork(t, 4, 68)
+	reqs := testWorkload(t, 40, 4, 69)
+	res := newBatchResult(reqs)
+	used := make([]float64, net.NumStations())
+	active := make([]int, 20)
+	for i := range active {
+		active[i] = i
+	}
+	// LP-PT share truncation: with |R_t| = 20 the per-station share is
+	// C_i/20 (~170 MHz ~ 8.5 MB/s), well below every request's demand, so
+	// constraint (23) throttles how much expected mass the LP packs.
+	rt := float64(len(active))
+	_, err := ScheduleBatch(net, reqs, res, rand.New(rand.NewSource(70)), BatchOptions{
+		Active:      active,
+		Used:        used,
+		ShareCapMBs: func(i int) float64 { return net.Capacity(i) / rt / net.CUnit() },
+		Passes:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range used {
+		if u > net.Capacity(i)+1e-6 {
+			t.Fatalf("station %d over capacity %v", i, u)
+		}
+	}
+}
+
+func TestScheduleBatchEmptyActive(t *testing.T) {
+	net := testNetwork(t, 3, 71)
+	reqs := testWorkload(t, 5, 3, 72)
+	res := newBatchResult(reqs)
+	admitted, err := ScheduleBatch(net, reqs, res, rand.New(rand.NewSource(73)), BatchOptions{
+		Used: make([]float64, net.NumStations()),
+	})
+	if err != nil || admitted != 0 {
+		t.Fatalf("empty batch: admitted=%d err=%v", admitted, err)
+	}
+	if _, err := ScheduleBatch(nil, reqs, res, rand.New(rand.NewSource(74)), BatchOptions{}); err == nil {
+		t.Fatal("want error for nil network")
+	}
+}
+
+// TestScheduleBatchSequentialFillsToCapacity: repeated batches against the
+// same ledger (the per-slot pattern of DynamicRR) must keep honoring the
+// shared capacity.
+func TestScheduleBatchSequentialFillsToCapacity(t *testing.T) {
+	net := testNetwork(t, 4, 75)
+	reqs := testWorkload(t, 60, 4, 76)
+	res := newBatchResult(reqs)
+	used := make([]float64, net.NumStations())
+	rng := rand.New(rand.NewSource(77))
+	for start := 0; start < 60; start += 15 {
+		active := make([]int, 15)
+		for i := range active {
+			active[i] = start + i
+		}
+		if _, err := ScheduleBatch(net, reqs, res, rng, BatchOptions{
+			Active:     active,
+			Used:       used,
+			Distribute: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, u := range used {
+			if u > net.Capacity(i)+1e-6 {
+				t.Fatalf("after batch at %d: station %d over capacity (%v)", start, i, u)
+			}
+		}
+	}
+	workload.Reset(nil) // no-op guard: Reset must tolerate nil
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mecoffload/internal/lp"
+	"mecoffload/internal/mec"
+)
+
+// HindsightBound computes an upper bound on the reward any consolidated
+// offline policy could have earned had it known every realized data rate
+// in advance: the LP relaxation of the full-information assignment
+// problem
+//
+//	max  sum_{j,i} x_ji * RD_j(realized)
+//	s.t. sum_i x_ji <= 1
+//	     sum_j x_ji * demand_j(realized) <= C(bs_i)
+//	     x_ji = 0 when station i misses r_j's deadline
+//	     0 <= x_ji <= 1 (implied).
+//
+// It realizes any still-hidden rates with rng (call workload.Reset first
+// if fresh draws are wanted) and is used by the experiment harness and
+// tests to report competitive ratios: achieved reward / hindsight bound.
+func HindsightBound(n *mec.Network, reqs []*mec.Request, rng *rand.Rand) (float64, error) {
+	if n == nil {
+		return 0, ErrNilNetwork
+	}
+	if len(reqs) == 0 {
+		return 0, ErrNoRequests
+	}
+	prob := lp.NewProblem(lp.Maximize)
+	byStation := make([][]lp.Term, n.NumStations())
+	for j, r := range reqs {
+		out := r.Realize(rng)
+		var terms []lp.Term
+		for i := 0; i < n.NumStations(); i++ {
+			if !r.DelayFeasible(n, i, 0, mec.DefaultSlotLengthMS) {
+				continue
+			}
+			v := prob.AddVariable(fmt.Sprintf("x[%d,%d]", j, i), out.Reward)
+			terms = append(terms, lp.Term{Var: v, Coef: 1})
+			byStation[i] = append(byStation[i], lp.Term{Var: v, Coef: n.RateToMHz(out.Rate)})
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		if _, err := prob.AddConstraint(fmt.Sprintf("assign[%d]", j), lp.LE, 1, terms...); err != nil {
+			return 0, err
+		}
+	}
+	if prob.NumVars() == 0 {
+		return 0, nil
+	}
+	for i, terms := range byStation {
+		if len(terms) == 0 {
+			continue
+		}
+		if _, err := prob.AddConstraint(fmt.Sprintf("cap[%d]", i), lp.LE, n.Capacity(i), terms...); err != nil {
+			return 0, err
+		}
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		return 0, err
+	}
+	if sol.Status != lp.StatusOptimal {
+		return 0, fmt.Errorf("%w: hindsight LP %v", ErrLPFailed, sol.Status)
+	}
+	return sol.Objective, nil
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mecoffload/internal/lp"
+	"mecoffload/internal/mec"
+)
+
+// slotVar identifies one y_{jil} variable of the slot-indexed relaxation.
+type slotVar struct {
+	req     int // global request index within the workload slice
+	station int
+	slot    int // 1-based starting resource slot l
+	er      float64
+	v       lp.Var
+}
+
+// lpModel is the built LP relaxation plus variable bookkeeping.
+type lpModel struct {
+	prob *lp.Problem
+	vars []slotVar
+	// byReq[j] lists indices into vars of request j's variables (indexed
+	// by global request index; empty for inactive requests).
+	byReq [][]int
+}
+
+// lpOptions tunes buildLP.
+type lpOptions struct {
+	// active lists the request indices to include; nil means all.
+	active []int
+	// capOf overrides the usable capacity of a station (residual capacity
+	// in later rounding passes and in the online per-slot LPs); nil means
+	// the station's full capacity.
+	capOf func(station int) float64
+	// slotMHz overrides the resource-slot size C_l (0 selects the
+	// network default). Iterative rounding passes refine the grid on
+	// residual capacities that are smaller than one default slot.
+	slotMHz float64
+	// shareCap, when non-nil, additionally truncates the expected
+	// occupancy of constraint (10): LP-PT's min{C(bs_i)/|R_t|, rho_j,
+	// l*C_l/C_unit} term (constraint (23)). The returned value is in
+	// MB/s; non-positive values disable the truncation for that station.
+	shareCapFor func(station int) float64
+	// waitSlots is the scheduling delay already accrued (b_j - a_j) that
+	// the delay-feasibility filter must account for.
+	waitSlots func(req int) int
+	// slotLengthMS converts waitSlots into milliseconds.
+	slotLengthMS float64
+}
+
+// buildLP constructs the resource-slot-indexed relaxation LP (Section
+// IV-A) over the active requests:
+//
+//	max  sum_{j,i,l} y_jil * ER_jil
+//	s.t. sum_{i,l} y_jil <= 1                                (9)
+//	     sum_{j,l'<=l} y_jil' * E[min(rho_j, l*C_l/C_unit)]
+//	         <= 2*l*C_l/C_unit          for each station i, slot l  (10)
+//	     y_jil = 0 when serving j on i violates its deadline       (11)
+//	     y_jil >= 0                                                (12)
+//
+// Variables are created only for delay-feasible (j, i) pairs and slots
+// with positive expected reward ER_jil (Eq. (8)), which keeps the LP
+// compact. The paper's constraint (10) RHS is written 2*l*C_l; the
+// division by C_unit here converts it to data-rate units so both sides of
+// the inequality carry the same dimension.
+func buildLP(n *mec.Network, reqs []*mec.Request, opts lpOptions) (*lpModel, error) {
+	if n == nil {
+		return nil, ErrNilNetwork
+	}
+	if len(reqs) == 0 {
+		return nil, ErrNoRequests
+	}
+	if opts.slotLengthMS == 0 {
+		opts.slotLengthMS = mec.DefaultSlotLengthMS
+	}
+	active := opts.active
+	if active == nil {
+		active = make([]int, len(reqs))
+		for j := range active {
+			active[j] = j
+		}
+	}
+	capOf := opts.capOf
+	if capOf == nil {
+		capOf = n.Capacity
+	}
+	slotMHz := opts.slotMHz
+	if slotMHz <= 0 {
+		slotMHz = n.SlotMHz()
+	}
+
+	prob := lp.NewProblem(lp.Maximize)
+	m := &lpModel{prob: prob, byReq: make([][]int, len(reqs))}
+
+	for _, j := range active {
+		r := reqs[j]
+		wait := 0
+		if opts.waitSlots != nil {
+			wait = opts.waitSlots(j)
+		}
+		for i := 0; i < n.NumStations(); i++ {
+			// Constraint (11): drop stations that cannot meet the
+			// deadline even with the current waiting time.
+			if !r.DelayFeasible(n, i, wait, opts.slotLengthMS) {
+				continue
+			}
+			capI := capOf(i)
+			L := int(capI / slotMHz)
+			for l := 1; l <= L; l++ {
+				// Eq. (8): reward mass of rates that fit above slot l.
+				maxRate := (capI - float64(l)*slotMHz) / n.CUnit()
+				er := r.Dist.RewardMassBelow(maxRate)
+				if er <= 0 {
+					continue
+				}
+				v := prob.AddVariable(fmt.Sprintf("y[%d,%d,%d]", j, i, l), er)
+				idx := len(m.vars)
+				m.vars = append(m.vars, slotVar{req: j, station: i, slot: l, er: er, v: v})
+				m.byReq[j] = append(m.byReq[j], idx)
+			}
+		}
+	}
+	if prob.NumVars() == 0 {
+		// No request can be feasibly served anywhere; the caller treats
+		// this as an all-reject solution rather than an error.
+		return m, nil
+	}
+
+	// Constraint (9): each request starts in at most one slot.
+	for _, j := range active {
+		if len(m.byReq[j]) == 0 {
+			continue
+		}
+		terms := make([]lp.Term, 0, len(m.byReq[j]))
+		for _, idx := range m.byReq[j] {
+			terms = append(terms, lp.Term{Var: m.vars[idx].v, Coef: 1})
+		}
+		if _, err := prob.AddConstraint(fmt.Sprintf("assign[%d]", j), lp.LE, 1, terms...); err != nil {
+			return nil, err
+		}
+	}
+
+	// Constraint (10) per (station, slot): truncated expected occupancy of
+	// all variables starting at or below slot l is at most 2*l*C_l/C_unit.
+	for i := 0; i < n.NumStations(); i++ {
+		L := int(capOf(i) / slotMHz)
+		for l := 1; l <= L; l++ {
+			slotCap := float64(l) * slotMHz / n.CUnit() // l*C_l/C_unit in MB/s
+			var terms []lp.Term
+			for idx := range m.vars {
+				sv := &m.vars[idx]
+				if sv.station != i || sv.slot > l {
+					continue
+				}
+				trunc := slotCap
+				if opts.shareCapFor != nil {
+					if sc := opts.shareCapFor(i); sc > 0 {
+						trunc = math.Min(trunc, sc)
+					}
+				}
+				coef := reqs[sv.req].Dist.ExpectedTruncatedRate(trunc)
+				if coef <= 0 {
+					continue
+				}
+				terms = append(terms, lp.Term{Var: sv.v, Coef: coef})
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			if _, err := prob.AddConstraint(fmt.Sprintf("cap[%d,%d]", i, l), lp.LE, 2*slotCap, terms...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, nil
+}
+
+// solve runs the simplex and returns the fractional y values aligned with
+// m.vars, plus the LP optimum.
+func (m *lpModel) solve() ([]float64, float64, error) {
+	if m.prob.NumVars() == 0 {
+		return nil, 0, nil
+	}
+	sol, err := m.prob.Solve()
+	if err != nil {
+		return nil, 0, err
+	}
+	if sol.Status != lp.StatusOptimal {
+		return nil, 0, fmt.Errorf("%w: %v", ErrLPFailed, sol.Status)
+	}
+	y := make([]float64, len(m.vars))
+	for idx := range m.vars {
+		y[idx] = sol.Value(m.vars[idx].v)
+	}
+	return y, sol.Objective, nil
+}

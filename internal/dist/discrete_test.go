@@ -1,0 +1,235 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustDist(t *testing.T, outcomes []Outcome) *RateReward {
+	t.Helper()
+	d, err := NewRateReward(outcomes)
+	if err != nil {
+		t.Fatalf("NewRateReward: %v", err)
+	}
+	return d
+}
+
+func TestNewRateRewardValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		outcomes []Outcome
+	}{
+		{"empty", nil},
+		{"mass below one", []Outcome{{Rate: 10, Prob: 0.5, Reward: 1}}},
+		{"mass above one", []Outcome{{Rate: 10, Prob: 0.7, Reward: 1}, {Rate: 20, Prob: 0.6, Reward: 1}}},
+		{"negative prob", []Outcome{{Rate: 10, Prob: -0.2, Reward: 1}, {Rate: 20, Prob: 1.2, Reward: 1}}},
+		{"negative rate", []Outcome{{Rate: -10, Prob: 1, Reward: 1}}},
+		{"negative reward", []Outcome{{Rate: 10, Prob: 1, Reward: -1}}},
+		{"nan prob", []Outcome{{Rate: 10, Prob: math.NaN(), Reward: 1}}},
+		{"inf rate", []Outcome{{Rate: math.Inf(1), Prob: 1, Reward: 1}}},
+		{"all zero prob", []Outcome{{Rate: 10, Prob: 0, Reward: 1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewRateReward(tc.outcomes); err == nil {
+				t.Fatalf("want error for %v", tc.outcomes)
+			}
+		})
+	}
+}
+
+func TestMergeDuplicateRates(t *testing.T) {
+	d := mustDist(t, []Outcome{
+		{Rate: 10, Prob: 0.25, Reward: 100},
+		{Rate: 10, Prob: 0.25, Reward: 300},
+		{Rate: 20, Prob: 0.5, Reward: 50},
+	})
+	if d.Len() != 2 {
+		t.Fatalf("support size %d, want 2 after merge", d.Len())
+	}
+	// Probability-weighted reward of the merged outcome: (100+300)/2.
+	rw, err := d.RewardFor(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rw-200) > 1e-9 {
+		t.Fatalf("merged reward %v, want 200", rw)
+	}
+}
+
+func TestExpectations(t *testing.T) {
+	d := mustDist(t, []Outcome{
+		{Rate: 10, Prob: 0.5, Reward: 100},
+		{Rate: 30, Prob: 0.5, Reward: 60},
+	})
+	if got := d.ExpectedRate(); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("E[rate] = %v, want 20", got)
+	}
+	if got := d.ExpectedReward(); math.Abs(got-80) > 1e-9 {
+		t.Fatalf("E[reward] = %v, want 80", got)
+	}
+	if got := d.MinRate(); got != 10 {
+		t.Fatalf("min rate %v", got)
+	}
+	if got := d.MaxRate(); got != 30 {
+		t.Fatalf("max rate %v", got)
+	}
+}
+
+func TestTruncatedExpectation(t *testing.T) {
+	d := mustDist(t, []Outcome{
+		{Rate: 10, Prob: 0.5, Reward: 1},
+		{Rate: 30, Prob: 0.5, Reward: 1},
+	})
+	cases := []struct{ cap, want float64 }{
+		{0, 0},
+		{-5, 0},
+		{5, 5},
+		{10, 10},
+		{20, 15},
+		{30, 20},
+		{100, 20},
+	}
+	for _, tc := range cases {
+		if got := d.ExpectedTruncatedRate(tc.cap); math.Abs(got-tc.want) > 1e-9 {
+			t.Fatalf("E[min(rate, %v)] = %v, want %v", tc.cap, got, tc.want)
+		}
+	}
+}
+
+func TestRewardMassBelow(t *testing.T) {
+	d := mustDist(t, []Outcome{
+		{Rate: 10, Prob: 0.25, Reward: 100},
+		{Rate: 20, Prob: 0.25, Reward: 200},
+		{Rate: 30, Prob: 0.5, Reward: 300},
+	})
+	cases := []struct{ maxRate, want float64 }{
+		{5, 0},
+		{10, 25},
+		{25, 75},
+		{30, 225},
+	}
+	for _, tc := range cases {
+		if got := d.RewardMassBelow(tc.maxRate); math.Abs(got-tc.want) > 1e-9 {
+			t.Fatalf("RewardMassBelow(%v) = %v, want %v", tc.maxRate, got, tc.want)
+		}
+	}
+	if got := d.ProbRateAtMost(20); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("P[rate<=20] = %v, want 0.5", got)
+	}
+}
+
+func TestRewardForUnsupported(t *testing.T) {
+	d := mustDist(t, []Outcome{{Rate: 10, Prob: 1, Reward: 5}})
+	if _, err := d.RewardFor(11); err == nil {
+		t.Fatal("want error for unsupported rate")
+	}
+}
+
+func TestSampleMatchesDistribution(t *testing.T) {
+	d := mustDist(t, []Outcome{
+		{Rate: 10, Prob: 0.2, Reward: 1},
+		{Rate: 20, Prob: 0.8, Reward: 2},
+	})
+	rng := rand.New(rand.NewSource(9))
+	const n = 20000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if d.Sample(rng).Rate == 20 {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.8) > 0.02 {
+		t.Fatalf("sampled P[rate=20] = %v, want ~0.8", frac)
+	}
+}
+
+// Property: truncated expectation is monotone in the cap and bounded by
+// both the cap and the full expectation.
+func TestTruncatedExpectationProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d, err := UniformRateReward(1+rng.Intn(8), 5+rng.Float64()*10, 30+rng.Float64()*30, 1, 3, rng)
+		if err != nil {
+			return false
+		}
+		prev := 0.0
+		for cap := 0.0; cap <= 70; cap += 3.5 {
+			e := d.ExpectedTruncatedRate(cap)
+			if e < prev-1e-12 || e > cap+1e-12 || e > d.ExpectedRate()+1e-12 {
+				return false
+			}
+			prev = e
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformRateReward(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	d, err := UniformRateReward(5, 30, 50, 12, 15, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 5 {
+		t.Fatalf("support %d, want 5", d.Len())
+	}
+	if d.MinRate() != 30 || d.MaxRate() != 50 {
+		t.Fatalf("rate range [%v, %v], want [30, 50]", d.MinRate(), d.MaxRate())
+	}
+	for _, o := range d.Outcomes() {
+		if math.Abs(o.Prob-0.2) > 1e-9 {
+			t.Fatalf("uniform prob %v, want 0.2", o.Prob)
+		}
+		unit := o.Reward / o.Rate
+		if unit < 12-1e-9 || unit > 15+1e-9 {
+			t.Fatalf("unit reward %v outside [12, 15]", unit)
+		}
+	}
+	if _, err := UniformRateReward(0, 1, 2, 1, 2, rng); err == nil {
+		t.Error("want error for empty support")
+	}
+	if _, err := UniformRateReward(3, 5, 2, 1, 2, rng); err == nil {
+		t.Error("want error for inverted rate range")
+	}
+}
+
+func TestGeometricRateReward(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d, err := GeometricRateReward(5, 30, 50, 12, 15, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := d.Outcomes()
+	total := 0.0
+	for i := 1; i < len(outs); i++ {
+		if outs[i].Prob >= outs[i-1].Prob {
+			t.Fatalf("geometric mass must decay: %v then %v", outs[i-1].Prob, outs[i].Prob)
+		}
+	}
+	for _, o := range outs {
+		total += o.Prob
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("mass %v, want 1", total)
+	}
+	if _, err := GeometricRateReward(5, 30, 50, 12, 15, 1.5, rng); err == nil {
+		t.Error("want error for decay >= 1")
+	}
+}
+
+func TestOutcomesCopy(t *testing.T) {
+	d := mustDist(t, []Outcome{{Rate: 10, Prob: 1, Reward: 5}})
+	outs := d.Outcomes()
+	outs[0].Reward = 999
+	if got, _ := d.RewardFor(10); got != 5 {
+		t.Fatal("Outcomes must return a copy")
+	}
+}

@@ -1,0 +1,305 @@
+// Package experiment regenerates every figure of the paper's evaluation
+// (Section VI): the offline comparison of Appro/Heu against OCORP, Greedy,
+// and HeuKKT (Fig. 3), the online comparison of DynamicRR against the
+// online baselines (Fig. 4), the base-station sweep (Fig. 5), the
+// maximum-data-rate sweep (Fig. 6), a validation of Theorem 3's regret
+// bound, and the ablation studies listed in DESIGN.md. Each experiment
+// produces a Table whose rows are x-axis points and whose cells aggregate
+// repetitions into mean +/- 95% CI.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"mecoffload/internal/baseline"
+	"mecoffload/internal/core"
+	"mecoffload/internal/mec"
+	"mecoffload/internal/sim"
+	"mecoffload/internal/stats"
+	"mecoffload/internal/workload"
+)
+
+// Algorithm names used across tables.
+const (
+	AlgoAppro     = "Appro"
+	AlgoHeu       = "Heu"
+	AlgoExact     = "Exact"
+	AlgoOCORP     = "OCORP"
+	AlgoGreedy    = "Greedy"
+	AlgoHeuKKT    = "HeuKKT"
+	AlgoDynamicRR = "DynamicRR"
+)
+
+// Errors returned by the harness.
+var (
+	ErrUnknownAlgorithm = errors.New("experiment: unknown algorithm")
+	ErrAuditFailed      = errors.New("experiment: result failed feasibility audit")
+)
+
+// Defaults shared by all experiments (paper Section VI-A).
+const (
+	DefaultStations    = 20
+	DefaultMinCapMHz   = 3000
+	DefaultMaxCapMHz   = 3600
+	DefaultRepetitions = 5
+	DefaultHorizon     = 100
+	DefaultRequests    = 200
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Repetitions is the number of independent (topology, workload) draws
+	// each cell aggregates (zero selects 5).
+	Repetitions int
+	// Seed derives all per-repetition seeds; runs are reproducible.
+	Seed int64
+	// Stations is the number of base stations (zero selects 20);
+	// overridden by the Fig. 5 sweep.
+	Stations int
+	// Requests is the workload size where the x-axis is not |R| (zero
+	// selects 200).
+	Requests int
+	// Horizon is the online arrival horizon in slots (zero selects 100).
+	Horizon int
+	// Parallel bounds worker goroutines (zero selects GOMAXPROCS).
+	Parallel int
+	// SkipAudit disables the per-run feasibility audit (benchmarks only).
+	SkipAudit bool
+}
+
+func (o *Options) fill() {
+	if o.Repetitions == 0 {
+		o.Repetitions = DefaultRepetitions
+	}
+	if o.Stations == 0 {
+		o.Stations = DefaultStations
+	}
+	if o.Requests == 0 {
+		o.Requests = DefaultRequests
+	}
+	if o.Horizon == 0 {
+		o.Horizon = DefaultHorizon
+	}
+	if o.Parallel == 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Cell aggregates one (x, algorithm) point over repetitions.
+type Cell struct {
+	Reward    stats.Summary
+	LatencyMS stats.Summary
+	RuntimeMS stats.Summary
+	Served    stats.Summary
+}
+
+// Row is one x-axis point of a table.
+type Row struct {
+	X     float64
+	Cells map[string]*Cell
+}
+
+// Table is one regenerated figure.
+type Table struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "fig3").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// XLabel names the x-axis.
+	XLabel string
+	// Algorithms fixes the column order.
+	Algorithms []string
+	// Rows holds one entry per x value, ascending.
+	Rows []Row
+}
+
+// cell fetches (allocating) the cell for an algorithm in a row.
+func (r *Row) cell(algo string) *Cell {
+	if r.Cells == nil {
+		r.Cells = make(map[string]*Cell)
+	}
+	c := r.Cells[algo]
+	if c == nil {
+		c = &Cell{}
+		r.Cells[algo] = c
+	}
+	return c
+}
+
+// instance is one generated (network, workload) draw.
+type instance struct {
+	net  *mec.Network
+	reqs []*mec.Request
+}
+
+// genInstance draws a network and workload from a seed.
+func genInstance(stations int, wcfg workload.Config, seed int64) (*instance, error) {
+	rng := rand.New(rand.NewSource(seed))
+	net, err := mec.RandomNetwork(stations, DefaultMinCapMHz, DefaultMaxCapMHz, rng)
+	if err != nil {
+		return nil, err
+	}
+	wcfg.NumStations = stations
+	reqs, err := workload.Generate(wcfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &instance{net: net, reqs: reqs}, nil
+}
+
+// runOffline executes one offline algorithm on a fresh realization of the
+// instance's workload.
+func runOffline(inst *instance, algo string, seed int64, audit bool) (*core.Result, error) {
+	workload.Reset(inst.reqs)
+	rng := rand.New(rand.NewSource(seed))
+	var (
+		res *core.Result
+		err error
+	)
+	switch algo {
+	case AlgoAppro:
+		res, err = core.Appro(inst.net, inst.reqs, rng, core.ApproOptions{})
+	case AlgoHeu:
+		res, err = core.Heu(inst.net, inst.reqs, rng, core.HeuOptions{})
+	case AlgoExact:
+		res, err = core.Exact(inst.net, inst.reqs, rng, core.ExactOptions{})
+	case AlgoOCORP:
+		res, err = baseline.OCORP(inst.net, inst.reqs, rng, baseline.Options{})
+	case AlgoGreedy:
+		res, err = baseline.Greedy(inst.net, inst.reqs, rng, baseline.Options{})
+	case AlgoHeuKKT:
+		res, err = baseline.HeuKKT(inst.net, inst.reqs, rng, baseline.Options{})
+	default:
+		return nil, fmt.Errorf("%w: %q (offline)", ErrUnknownAlgorithm, algo)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %s: %w", algo, err)
+	}
+	if audit {
+		if err := core.Audit(inst.net, inst.reqs, res); err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrAuditFailed, algo, err)
+		}
+	}
+	return res, nil
+}
+
+// newScheduler builds the online scheduler for an algorithm name.
+func newScheduler(algo string) (sim.Scheduler, error) {
+	switch algo {
+	case AlgoDynamicRR:
+		return sim.NewDynamicRR(sim.DynamicRROptions{})
+	case AlgoOCORP:
+		return &sim.OnlineOCORP{}, nil
+	case AlgoGreedy:
+		return &sim.OnlineGreedy{}, nil
+	case AlgoHeuKKT:
+		return &sim.OnlineHeuKKT{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %q (online)", ErrUnknownAlgorithm, algo)
+	}
+}
+
+// runOnline executes one online algorithm over the simulation horizon.
+func runOnline(inst *instance, algo string, seed int64, horizon int, audit bool) (*core.Result, error) {
+	workload.Reset(inst.reqs)
+	sched, err := newScheduler(algo)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := sim.NewEngine(inst.net, inst.reqs, rand.New(rand.NewSource(seed)), sim.Config{Horizon: horizon})
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.Run(sched)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %s: %w", algo, err)
+	}
+	if audit {
+		if err := sim.AuditTimeline(inst.net, inst.reqs, res, horizon); err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrAuditFailed, algo, err)
+		}
+	}
+	return res, nil
+}
+
+// job is one (row, algorithm, repetition) work unit of a sweep.
+type job struct {
+	row  int
+	algo string
+	rep  int
+}
+
+// sweep runs a generic experiment grid in parallel and aggregates cells.
+//   - xs: the x-axis values;
+//   - makeInstance(x, rep) draws the instance;
+//   - run(inst, algo, rep) executes one algorithm.
+func sweep(opts Options, tbl *Table, xs []float64,
+	makeInstance func(x float64, rep int) (*instance, error),
+	run func(inst *instance, algo string, x float64, rep int) (*core.Result, error)) error {
+
+	tbl.Rows = make([]Row, len(xs))
+	for i, x := range xs {
+		tbl.Rows[i] = Row{X: x}
+	}
+
+	var jobs []job
+	for i := range xs {
+		for _, algo := range tbl.Algorithms {
+			for rep := 0; rep < opts.Repetitions; rep++ {
+				jobs = append(jobs, job{row: i, algo: algo, rep: rep})
+			}
+		}
+	}
+
+	type outcome struct {
+		job job
+		res *core.Result
+		err error
+	}
+	jobCh := make(chan job)
+	outCh := make(chan outcome)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range jobCh {
+				inst, err := makeInstance(xs[jb.row], jb.rep)
+				if err != nil {
+					outCh <- outcome{job: jb, err: err}
+					continue
+				}
+				res, err := run(inst, jb.algo, xs[jb.row], jb.rep)
+				outCh <- outcome{job: jb, res: res, err: err}
+			}
+		}()
+	}
+	go func() {
+		for _, jb := range jobs {
+			jobCh <- jb
+		}
+		close(jobCh)
+		wg.Wait()
+		close(outCh)
+	}()
+
+	var firstErr error
+	for out := range outCh {
+		if out.err != nil {
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			continue
+		}
+		c := tbl.Rows[out.job.row].cell(out.job.algo)
+		c.Reward.Add(out.res.TotalReward)
+		c.LatencyMS.Add(out.res.AvgLatencyMS())
+		c.RuntimeMS.Add(float64(out.res.Runtime.Microseconds()) / 1000)
+		c.Served.Add(float64(out.res.Served))
+	}
+	return firstErr
+}

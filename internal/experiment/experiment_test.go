@@ -1,0 +1,266 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func fastOpts() Options {
+	return Options{Repetitions: 2, Seed: 123, Parallel: 2}
+}
+
+func TestFig4ShapesAndRendering(t *testing.T) {
+	tbl, err := Fig4(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != "fig4" || len(tbl.Rows) != 5 {
+		t.Fatalf("table %q with %d rows", tbl.ID, len(tbl.Rows))
+	}
+	// Every cell must be filled with the right repetition count.
+	for _, row := range tbl.Rows {
+		for _, algo := range tbl.Algorithms {
+			c := row.Cells[algo]
+			if c == nil {
+				t.Fatalf("missing cell (%v, %s)", row.X, algo)
+			}
+			if c.Reward.N() != 2 {
+				t.Fatalf("cell (%v, %s) has %d reps", row.X, algo, c.Reward.N())
+			}
+		}
+	}
+	// DynamicRR must beat online Greedy at the congested end.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last.Cells[AlgoDynamicRR].Reward.Mean() <= last.Cells[AlgoGreedy].Reward.Mean() {
+		t.Fatalf("DynamicRR %.0f <= Greedy %.0f at 300 requests",
+			last.Cells[AlgoDynamicRR].Reward.Mean(), last.Cells[AlgoGreedy].Reward.Mean())
+	}
+	// Rewards grow from 100 to 300 requests for DynamicRR.
+	if tbl.Rows[0].Cells[AlgoDynamicRR].Reward.Mean() >= last.Cells[AlgoDynamicRR].Reward.Mean() {
+		t.Fatal("reward should grow with offered load before saturation")
+	}
+
+	var text strings.Builder
+	if err := tbl.WriteText(&text, MetricReward); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "DynamicRR") {
+		t.Fatal("text rendering lost algorithm header")
+	}
+	var csv strings.Builder
+	if err := tbl.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	// header + 5 rows * 4 algorithms * 4 metrics
+	if want := 1 + 5*4*4; len(lines) != want {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), want)
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("LP-heavy")
+	}
+	opts := fastOpts()
+	opts.Repetitions = 1
+	tbl, err := Fig3(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tbl.Rows[len(tbl.Rows)-1]
+	heu := last.Cells[AlgoHeu].Reward.Mean()
+	appro := last.Cells[AlgoAppro].Reward.Mean()
+	greedy := last.Cells[AlgoGreedy].Reward.Mean()
+	if heu < appro*0.95 {
+		t.Errorf("Heu %.0f below Appro %.0f", heu, appro)
+	}
+	if appro <= greedy {
+		t.Errorf("Appro %.0f should beat Greedy %.0f", appro, greedy)
+	}
+	// Fig 3(c): the LP-based algorithms dominate the runtime plot.
+	if last.Cells[AlgoAppro].RuntimeMS.Mean() < 10*last.Cells[AlgoGreedy].RuntimeMS.Mean() {
+		t.Error("Appro runtime should dwarf Greedy's")
+	}
+}
+
+func TestFig6RewardGrowsWithMaxRate(t *testing.T) {
+	tbl, err := Fig6(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tbl.Rows[0].Cells[AlgoDynamicRR].Reward.Mean()
+	last := tbl.Rows[len(tbl.Rows)-1].Cells[AlgoDynamicRR].Reward.Mean()
+	if last <= first {
+		t.Fatalf("reward should grow with max data rate: %.0f -> %.0f", first, last)
+	}
+}
+
+func TestRegretSublinear(t *testing.T) {
+	opts := fastOpts()
+	reg, err := Regret(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reg.Checkpoints) != len(reg.Regret) || len(reg.Checkpoints) != len(reg.Bound) {
+		t.Fatal("misaligned regret series")
+	}
+	// Measured regret must stay below the (loose) theoretical bound shape.
+	for i := range reg.Checkpoints {
+		if reg.Regret[i].Mean() > reg.Bound[i] {
+			t.Fatalf("regret %.0f above bound %.0f at T=%d",
+				reg.Regret[i].Mean(), reg.Bound[i], reg.Checkpoints[i])
+		}
+	}
+	// Sub-linearity: doubling T from the middle to the end must grow
+	// regret by less than 2x.
+	mid := reg.Regret[3].Mean() // T=150
+	end := reg.Regret[6].Mean() // T=300
+	if mid > 0 && end > 2.4*mid {
+		t.Fatalf("regret nearly linear: %.0f at T=150 vs %.0f at T=300", mid, end)
+	}
+
+	var text strings.Builder
+	if err := reg.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "Theorem 3") {
+		t.Fatal("regret rendering lost its header")
+	}
+	var csv strings.Builder
+	if err := reg.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(strings.TrimSpace(csv.String()), "\n")) != 1+len(reg.Checkpoints) {
+		t.Fatal("regret CSV row count wrong")
+	}
+}
+
+func TestUnknownAlgorithm(t *testing.T) {
+	inst, err := genInstance(4, offlineWorkload(5), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runOffline(inst, "Nope", 1, false); err == nil {
+		t.Error("want error for unknown offline algorithm")
+	}
+	if _, err := runOnline(inst, "Nope", 1, 10, false); err == nil {
+		t.Error("want error for unknown online algorithm")
+	}
+}
+
+func TestAblationKappaRuns(t *testing.T) {
+	opts := fastOpts()
+	opts.Repetitions = 1
+	tbl, err := AblationKappa(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("%d rows", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row.Cells[AlgoDynamicRR].Reward.Mean() <= 0 {
+			t.Fatalf("kappa=%v produced zero reward", row.X)
+		}
+	}
+}
+
+func TestAblationPolicyRuns(t *testing.T) {
+	opts := fastOpts()
+	opts.Repetitions = 1
+	tbl, err := AblationPolicy(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range tbl.Algorithms {
+		if tbl.Rows[0].Cells[algo].Reward.Mean() <= 0 {
+			t.Fatalf("policy %s produced zero reward", algo)
+		}
+	}
+}
+
+func TestExactGapSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("branch-and-bound heavy")
+	}
+	opts := fastOpts()
+	opts.Repetitions = 1
+	tbl, err := ExactGap(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows[:2] { // small instances only in tests
+		exact := row.Cells[AlgoExact].Reward.Mean()
+		hind := row.Cells[AlgoHindsight].Reward.Mean()
+		if exact <= 0 || hind <= 0 {
+			t.Fatalf("x=%v: degenerate rewards exact=%v hindsight=%v", row.X, exact, hind)
+		}
+	}
+}
+
+func TestAblationRewardModelWidensGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("LP-heavy")
+	}
+	opts := fastOpts()
+	opts.Repetitions = 2
+	tbl, err := AblationRewardModel(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := func(row Row) float64 {
+		return row.Cells[AlgoHeu].Reward.Mean() / row.Cells[AlgoOCORP].Reward.Mean()
+	}
+	unitPrice, independent := gap(tbl.Rows[0]), gap(tbl.Rows[1])
+	if independent < unitPrice*0.98 {
+		t.Fatalf("independent rewards should not shrink Heu's edge: %v -> %v", unitPrice, independent)
+	}
+}
+
+func TestAblationDiscretizationRuns(t *testing.T) {
+	opts := fastOpts()
+	opts.Repetitions = 1
+	tbl, err := AblationDiscretization(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range tbl.Algorithms {
+		if tbl.Rows[0].Cells[algo].Reward.Mean() <= 0 {
+			t.Fatalf("%s produced zero reward", algo)
+		}
+	}
+}
+
+func TestLearningCurveRuns(t *testing.T) {
+	opts := fastOpts()
+	opts.Repetitions = 1
+	lc, err := Learning(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lc.WindowStart) == 0 || len(lc.Learner) != len(lc.WindowStart) || len(lc.Fixed) != len(lc.WindowStart) {
+		t.Fatalf("misaligned learning curve: %d windows", len(lc.WindowStart))
+	}
+	totalLearner := 0.0
+	for i := range lc.Learner {
+		totalLearner += lc.Learner[i].Mean()
+	}
+	if totalLearner <= 0 {
+		t.Fatal("learner earned nothing")
+	}
+	var text strings.Builder
+	if err := lc.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "E12") {
+		t.Fatal("rendering lost header")
+	}
+	var csv strings.Builder
+	if err := lc.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(strings.TrimSpace(csv.String()), "\n")) != 1+len(lc.WindowStart) {
+		t.Fatal("CSV row count wrong")
+	}
+}

@@ -1,0 +1,140 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"mecoffload/internal/stats"
+)
+
+// Metric selects which aggregate a rendering shows.
+type Metric string
+
+// Metrics available in every cell.
+const (
+	MetricReward  Metric = "reward"
+	MetricLatency Metric = "latencyMS"
+	MetricRuntime Metric = "runtimeMS"
+	MetricServed  Metric = "served"
+)
+
+// AllMetrics lists the renderable metrics in display order.
+func AllMetrics() []Metric {
+	return []Metric{MetricReward, MetricLatency, MetricRuntime, MetricServed}
+}
+
+func (c *Cell) metric(m Metric) *stats.Summary {
+	switch m {
+	case MetricLatency:
+		return &c.LatencyMS
+	case MetricRuntime:
+		return &c.RuntimeMS
+	case MetricServed:
+		return &c.Served
+	default:
+		return &c.Reward
+	}
+}
+
+// WriteText renders one metric of the table as an aligned text block, the
+// same series the paper plots.
+func (t *Table) WriteText(w io.Writer, m Metric) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", t.Title, m); err != nil {
+		return err
+	}
+	header := fmt.Sprintf("%12s", t.XLabel)
+	for _, a := range t.Algorithms {
+		header += fmt.Sprintf("  %20s", a)
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", len(header))); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		line := fmt.Sprintf("%12.0f", row.X)
+		for _, a := range t.Algorithms {
+			c := row.Cells[a]
+			if c == nil {
+				line += fmt.Sprintf("  %20s", "-")
+				continue
+			}
+			s := c.metric(m)
+			line += fmt.Sprintf("  %12.1f ± %5.1f", s.Mean(), s.CI95())
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteAllText renders every metric of the table.
+func (t *Table) WriteAllText(w io.Writer) error {
+	for _, m := range AllMetrics() {
+		if err := t.WriteText(w, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the full table (all metrics) as CSV with one row per
+// (x, algorithm) cell.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "experiment,%s,algorithm,metric,mean,ci95,n\n", t.XLabel); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		for _, a := range t.Algorithms {
+			c := row.Cells[a]
+			if c == nil {
+				continue
+			}
+			for _, m := range AllMetrics() {
+				s := c.metric(m)
+				if _, err := fmt.Fprintf(w, "%s,%g,%s,%s,%.4f,%.4f,%d\n",
+					t.ID, row.X, a, m, s.Mean(), s.CI95(), s.N()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WriteText renders the regret validation as a text block.
+func (r *RegretResult) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Theorem 3 validation — cumulative regret (kappa=%d, eps=%.1f MHz)\n",
+		r.Kappa, r.Epsilon); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%10s  %20s  %14s\n", "T", "regret (mean±ci95)", "bound shape"); err != nil {
+		return err
+	}
+	for i, T := range r.Checkpoints {
+		if _, err := fmt.Fprintf(w, "%10d  %12.1f ± %5.1f  %14.1f\n",
+			T, r.Regret[i].Mean(), r.Regret[i].CI95(), r.Bound[i]); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV emits the regret series as CSV.
+func (r *RegretResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "experiment,T,regretMean,regretCI95,bound"); err != nil {
+		return err
+	}
+	for i, T := range r.Checkpoints {
+		if _, err := fmt.Fprintf(w, "regret,%d,%.4f,%.4f,%.4f\n",
+			T, r.Regret[i].Mean(), r.Regret[i].CI95(), r.Bound[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+// Package graph provides weighted undirected graph primitives used to model
+// the backhaul network that interconnects base stations in an MEC network.
+//
+// The package is deliberately small and allocation-conscious: the offloading
+// algorithms in internal/core query shortest paths between every (user,
+// base station) pair, so the all-pairs structures built here are reused
+// across an entire experiment run.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrVertexOutOfRange is returned when a vertex index does not exist.
+var ErrVertexOutOfRange = errors.New("graph: vertex out of range")
+
+// Edge is a weighted undirected edge between two vertices.
+type Edge struct {
+	// U and V are the endpoint vertex indices.
+	U, V int
+	// Weight is the edge cost. For MEC backhaul graphs this is the
+	// per-unit transmission delay of the link in milliseconds.
+	Weight float64
+}
+
+// Graph is a weighted undirected graph over vertices 0..N-1 stored in
+// adjacency-list form. The zero value is an empty graph; use New to size it.
+type Graph struct {
+	n    int
+	adj  [][]halfEdge
+	edge []Edge
+}
+
+// halfEdge is the adjacency-list representation of one direction of an edge.
+type halfEdge struct {
+	to     int
+	weight float64
+	idx    int // index into edge slice
+}
+
+// New returns an empty graph with n vertices and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{
+		n:   n,
+		adj: make([][]halfEdge, n),
+	}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edge) }
+
+// Edges returns a copy of all edges in insertion order.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edge))
+	copy(out, g.edge)
+	return out
+}
+
+// AddEdge inserts an undirected edge {u, v} with the given weight and
+// returns its edge index. Self-loops and negative weights are rejected.
+func (g *Graph) AddEdge(u, v int, weight float64) (int, error) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return 0, fmt.Errorf("%w: (%d, %d) with n=%d", ErrVertexOutOfRange, u, v, g.n)
+	}
+	if u == v {
+		return 0, fmt.Errorf("graph: self-loop on vertex %d", u)
+	}
+	if weight < 0 || math.IsNaN(weight) {
+		return 0, fmt.Errorf("graph: invalid weight %v on edge (%d, %d)", weight, u, v)
+	}
+	idx := len(g.edge)
+	g.edge = append(g.edge, Edge{U: u, V: v, Weight: weight})
+	g.adj[u] = append(g.adj[u], halfEdge{to: v, weight: weight, idx: idx})
+	g.adj[v] = append(g.adj[v], halfEdge{to: u, weight: weight, idx: idx})
+	return idx, nil
+}
+
+// HasEdge reports whether an edge between u and v exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	if len(g.adj[u]) > len(g.adj[v]) {
+		u, v = v, u
+	}
+	for _, he := range g.adj[u] {
+		if he.to == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Degree returns the number of incident edges of vertex u.
+func (g *Graph) Degree(u int) int {
+	if u < 0 || u >= g.n {
+		return 0
+	}
+	return len(g.adj[u])
+}
+
+// Neighbors returns the vertices adjacent to u in ascending order.
+func (g *Graph) Neighbors(u int) []int {
+	if u < 0 || u >= g.n {
+		return nil
+	}
+	out := make([]int, 0, len(g.adj[u]))
+	for _, he := range g.adj[u] {
+		out = append(out, he.to)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Connected reports whether the graph is connected. The empty graph and the
+// single-vertex graph are connected by convention.
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, he := range g.adj[u] {
+			if !seen[he.to] {
+				seen[he.to] = true
+				count++
+				stack = append(stack, he.to)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// Components returns the connected components as slices of vertex indices.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		stack := []int{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for _, he := range g.adj[u] {
+				if !seen[he.to] {
+					seen[he.to] = true
+					stack = append(stack, he.to)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}

@@ -1,0 +1,241 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	g := New(0)
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatalf("empty graph has N=%d M=%d", g.N(), g.M())
+	}
+	if !g.Connected() {
+		t.Fatal("empty graph should count as connected")
+	}
+	g = New(-5)
+	if g.N() != 0 {
+		t.Fatalf("negative size should clamp to 0, got %d", g.N())
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(3)
+	cases := []struct {
+		name    string
+		u, v    int
+		w       float64
+		wantErr bool
+	}{
+		{"valid", 0, 1, 2.5, false},
+		{"self-loop", 1, 1, 1, true},
+		{"negative weight", 0, 2, -1, true},
+		{"nan weight", 0, 2, math.NaN(), true},
+		{"u out of range", -1, 2, 1, true},
+		{"v out of range", 0, 3, 1, true},
+		{"zero weight ok", 1, 2, 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := g.AddEdge(tc.u, tc.v, tc.w)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("AddEdge(%d, %d, %v) error = %v, wantErr %v", tc.u, tc.v, tc.w, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestHasEdgeAndDegree(t *testing.T) {
+	g := New(4)
+	mustEdge(t, g, 0, 1, 1)
+	mustEdge(t, g, 1, 2, 1)
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge (0,1) should exist in both directions")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("edge (0,2) should not exist")
+	}
+	if g.HasEdge(0, 99) || g.HasEdge(-1, 0) {
+		t.Fatal("out-of-range HasEdge should be false")
+	}
+	if d := g.Degree(1); d != 2 {
+		t.Fatalf("degree(1) = %d, want 2", d)
+	}
+	if d := g.Degree(99); d != 0 {
+		t.Fatalf("degree(99) = %d, want 0", d)
+	}
+	if ns := g.Neighbors(1); len(ns) != 2 || ns[0] != 0 || ns[1] != 2 {
+		t.Fatalf("neighbors(1) = %v, want [0 2]", ns)
+	}
+}
+
+func TestDijkstraSimple(t *testing.T) {
+	// 0 -1- 1 -1- 2, plus a heavy shortcut 0-2 of weight 5.
+	g := New(3)
+	mustEdge(t, g, 0, 1, 1)
+	mustEdge(t, g, 1, 2, 1)
+	mustEdge(t, g, 0, 2, 5)
+	sp, err := g.Dijkstra(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Dist[2] != 2 {
+		t.Fatalf("dist(0, 2) = %v, want 2", sp.Dist[2])
+	}
+	if path := sp.PathTo(2); len(path) != 3 || path[0] != 0 || path[1] != 1 || path[2] != 2 {
+		t.Fatalf("path = %v, want [0 1 2]", path)
+	}
+	if edges := sp.EdgesTo(2); len(edges) != 2 {
+		t.Fatalf("edge path length %d, want 2", len(edges))
+	}
+	if edges := sp.EdgesTo(0); len(edges) != 0 {
+		t.Fatalf("edge path to source should be empty, got %v", edges)
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := New(3)
+	mustEdge(t, g, 0, 1, 1)
+	sp, err := g.Dijkstra(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(sp.Dist[2], 1) {
+		t.Fatalf("dist to isolated vertex = %v, want +Inf", sp.Dist[2])
+	}
+	if sp.PathTo(2) != nil {
+		t.Fatal("path to unreachable vertex should be nil")
+	}
+	if _, err := g.Dijkstra(7); err == nil {
+		t.Fatal("want error for out-of-range source")
+	}
+}
+
+// TestDijkstraMatchesFloydWarshall cross-checks the two shortest-path
+// implementations on random graphs.
+func TestDijkstraMatchesFloydWarshall(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		g := New(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.4 {
+					if _, err := g.AddEdge(u, v, 1+rng.Float64()*9); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		fw := g.FloydWarshall()
+		ap := g.AllPairsShortestPaths()
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				d1, d2 := ap.Dist(u, v), fw[u][v]
+				if math.IsInf(d1, 1) != math.IsInf(d2, 1) {
+					return false
+				}
+				if !math.IsInf(d1, 1) && math.Abs(d1-d2) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPathWeightsMatchDist verifies that reconstructed paths really carry
+// the reported distance.
+func TestPathWeightsMatchDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := New(15)
+	for u := 0; u < 15; u++ {
+		for v := u + 1; v < 15; v++ {
+			if rng.Float64() < 0.3 {
+				mustEdge(t, g, u, v, 1+rng.Float64()*4)
+			}
+		}
+	}
+	ap := g.AllPairsShortestPaths()
+	edges := g.Edges()
+	for u := 0; u < 15; u++ {
+		for v := 0; v < 15; v++ {
+			if math.IsInf(ap.Dist(u, v), 1) {
+				continue
+			}
+			total := 0.0
+			for _, ei := range ap.PathEdges(u, v) {
+				total += edges[ei].Weight
+			}
+			if math.Abs(total-ap.Dist(u, v)) > 1e-9 {
+				t.Fatalf("path weight %v != dist %v for (%d, %d)", total, ap.Dist(u, v), u, v)
+			}
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(5)
+	mustEdge(t, g, 0, 1, 1)
+	mustEdge(t, g, 2, 3, 1)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %v, want 3 groups", comps)
+	}
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	mustEdge(t, g, 1, 2, 1)
+	mustEdge(t, g, 3, 4, 1)
+	if !g.Connected() {
+		t.Fatal("connected graph reported disconnected")
+	}
+}
+
+func TestNearest(t *testing.T) {
+	g := New(4)
+	mustEdge(t, g, 0, 1, 1)
+	mustEdge(t, g, 0, 2, 3)
+	mustEdge(t, g, 0, 3, 2)
+	ap := g.AllPairsShortestPaths()
+	got, d := ap.Nearest(0, []int{1, 2, 3})
+	if got != 1 || d != 1 {
+		t.Fatalf("nearest = (%d, %v), want (1, 1)", got, d)
+	}
+	// Excluding self: candidates contain only the source.
+	got, _ = ap.Nearest(0, []int{0})
+	if got != 0 {
+		t.Fatalf("nearest among {self} = %d, want 0", got)
+	}
+	// No reachable candidate.
+	g2 := New(3)
+	mustEdge(t, g2, 0, 1, 1)
+	ap2 := g2.AllPairsShortestPaths()
+	got, d = ap2.Nearest(0, []int{2})
+	if got != -1 || !math.IsInf(d, 1) {
+		t.Fatalf("nearest unreachable = (%d, %v), want (-1, +Inf)", got, d)
+	}
+}
+
+func TestEdgesCopy(t *testing.T) {
+	g := New(2)
+	mustEdge(t, g, 0, 1, 1)
+	edges := g.Edges()
+	edges[0].Weight = 99
+	if g.Edges()[0].Weight != 1 {
+		t.Fatal("Edges must return a copy")
+	}
+}
+
+func mustEdge(t *testing.T, g *Graph, u, v int, w float64) {
+	t.Helper()
+	if _, err := g.AddEdge(u, v, w); err != nil {
+		t.Fatalf("AddEdge(%d, %d, %v): %v", u, v, w, err)
+	}
+}

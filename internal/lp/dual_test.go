@@ -1,0 +1,193 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDualSimple(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6. Optimum (4, 0): the first
+	// constraint binds with shadow price 3, the second is slack (price 0).
+	p := NewProblem(Maximize)
+	x := p.AddVariable("x", 3)
+	y := p.AddVariable("y", 2)
+	mustConstraint(t, p, "c1", LE, 4, Term{x, 1}, Term{y, 1})
+	mustConstraint(t, p, "c2", LE, 6, Term{x, 1}, Term{y, 3})
+	sol := mustOptimal(t, p)
+	if !almostEq(sol.DualOf(0), 3) {
+		t.Fatalf("dual of binding row = %v, want 3", sol.DualOf(0))
+	}
+	if !almostEq(sol.DualOf(1), 0) {
+		t.Fatalf("dual of slack row = %v, want 0", sol.DualOf(1))
+	}
+	if sol.DualOf(99) != 0 || sol.DualOf(-1) != 0 {
+		t.Fatal("out-of-range duals must be 0")
+	}
+}
+
+func TestDualMinimization(t *testing.T) {
+	// min 2x s.t. x >= 5. Shadow price of the >= row is 2 (objective
+	// rises by 2 per unit of rhs).
+	p := NewProblem(Minimize)
+	x := p.AddVariable("x", 2)
+	mustConstraint(t, p, "lo", GE, 5, Term{x, 1})
+	sol := mustOptimal(t, p)
+	if !almostEq(sol.DualOf(0), 2) {
+		t.Fatalf("dual = %v, want 2", sol.DualOf(0))
+	}
+}
+
+// TestStrongDuality: on random bounded feasible max LPs, the primal
+// optimum must equal b'y with y the reported duals, and complementary
+// slackness must hold (positive dual => binding row; slack row => zero
+// dual). This is a strong end-to-end correctness oracle for the simplex
+// and the dual extraction.
+func TestStrongDuality(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		m := 2 + rng.Intn(4)
+		p := NewProblem(Maximize)
+		vars := make([]Var, n)
+		c := make([]float64, n)
+		for j := range vars {
+			c[j] = math.Round(rng.Float64()*20) / 2
+			vars[j] = p.AddVariable("x", c[j])
+		}
+		a := make([][]float64, m)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = make([]float64, n)
+			terms := make([]Term, n)
+			for j := range a[i] {
+				a[i][j] = math.Round(rng.Float64()*9+1) / 2
+				terms[j] = Term{vars[j], a[i][j]}
+			}
+			b[i] = math.Round(rng.Float64()*20+1) / 2
+			if _, err := p.AddConstraint("c", LE, b[i], terms...); err != nil {
+				return false
+			}
+		}
+		sol, err := p.Solve()
+		if err != nil || sol.Status != StatusOptimal {
+			return false
+		}
+		// Strong duality: objective == b'y.
+		dualObj := 0.0
+		for i := range b {
+			dualObj += b[i] * sol.Dual[i]
+		}
+		if !almostEq(dualObj, sol.Objective) {
+			return false
+		}
+		// Dual feasibility for a max problem with <= rows: y >= 0 and
+		// A'y >= c (up to tolerance).
+		for i := range b {
+			if sol.Dual[i] < -1e-7 {
+				return false
+			}
+		}
+		for j := 0; j < n; j++ {
+			lhs := 0.0
+			for i := 0; i < m; i++ {
+				lhs += a[i][j] * sol.Dual[i]
+			}
+			if lhs < c[j]-1e-6 {
+				return false
+			}
+			// Complementary slackness on variables: x_j > 0 => A'y == c_j.
+			if sol.X[j] > 1e-6 && math.Abs(lhs-c[j]) > 1e-6 {
+				return false
+			}
+		}
+		// Complementary slackness on rows: y_i > 0 => row binds.
+		for i := 0; i < m; i++ {
+			lhs := 0.0
+			for j := 0; j < n; j++ {
+				lhs += a[i][j] * sol.X[j]
+			}
+			if sol.Dual[i] > 1e-6 && math.Abs(lhs-b[i]) > 1e-6 {
+				return false
+			}
+			if lhs > b[i]+1e-6 {
+				return false // primal feasibility, while we are here
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntegerSolutionHasNoDuals(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddIntegerVariable("x", 1)
+	mustConstraint(t, p, "ub", LE, 2.5, Term{x, 1})
+	sol, err := p.SolveInteger()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Dual != nil {
+		t.Fatal("integer solutions must not carry LP duals")
+	}
+}
+
+func TestPresolveFixedZero(t *testing.T) {
+	// x pinned to zero by a singleton row; optimum must route through y.
+	p := NewProblem(Maximize)
+	x := p.AddVariable("x", 10)
+	y := p.AddVariable("y", 1)
+	mustConstraint(t, p, "pin", LE, 0, Term{x, 2})
+	mustConstraint(t, p, "cap", LE, 5, Term{x, 1}, Term{y, 1})
+	sol := mustOptimal(t, p)
+	if !almostEq(sol.Value(x), 0) || !almostEq(sol.Value(y), 5) || !almostEq(sol.Objective, 5) {
+		t.Fatalf("x=%v y=%v obj=%v, want (0, 5, 5)", sol.Value(x), sol.Value(y), sol.Objective)
+	}
+	if len(sol.Dual) != 2 {
+		t.Fatalf("duals lost by presolve: %v", sol.Dual)
+	}
+	if !almostEq(sol.DualOf(1), 1) {
+		t.Fatalf("cap shadow price %v, want 1", sol.DualOf(1))
+	}
+}
+
+func TestPresolveAllFixed(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVariable("x", 3)
+	mustConstraint(t, p, "pin", EQ, 0, Term{x, 1})
+	sol := mustOptimal(t, p)
+	if sol.Objective != 0 || sol.Value(x) != 0 {
+		t.Fatalf("all-fixed solve: obj=%v x=%v", sol.Objective, sol.Value(x))
+	}
+}
+
+func TestPresolveAllFixedInfeasible(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVariable("x", 3)
+	mustConstraint(t, p, "pin", LE, 0, Term{x, 1})
+	mustConstraint(t, p, "force", GE, 2, Term{x, 1})
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("status %v, want infeasible (x pinned to 0 but forced >= 2)", sol.Status)
+	}
+}
+
+func TestPresolveGEPin(t *testing.T) {
+	// -3x >= 0 pins x to 0 as well.
+	p := NewProblem(Maximize)
+	x := p.AddVariable("x", 1)
+	y := p.AddVariable("y", 1)
+	mustConstraint(t, p, "pin", GE, 0, Term{x, -3})
+	mustConstraint(t, p, "cap", LE, 2, Term{y, 1})
+	sol := mustOptimal(t, p)
+	if !almostEq(sol.Value(x), 0) || !almostEq(sol.Objective, 2) {
+		t.Fatalf("x=%v obj=%v", sol.Value(x), sol.Objective)
+	}
+}

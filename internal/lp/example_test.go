@@ -1,0 +1,71 @@
+package lp_test
+
+import (
+	"fmt"
+	"strings"
+
+	"mecoffload/internal/lp"
+)
+
+// Example solves a small production-planning LP and reads the optimum and
+// shadow prices.
+func Example() {
+	p := lp.NewProblem(lp.Maximize)
+	x := p.AddVariable("x", 3)
+	y := p.AddVariable("y", 2)
+	if _, err := p.AddConstraint("machine", lp.LE, 4, lp.Term{Var: x, Coef: 1}, lp.Term{Var: y, Coef: 1}); err != nil {
+		panic(err)
+	}
+	if _, err := p.AddConstraint("labor", lp.LE, 6, lp.Term{Var: x, Coef: 1}, lp.Term{Var: y, Coef: 3}); err != nil {
+		panic(err)
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s obj=%g x=%g y=%g machine-price=%g\n",
+		sol.Status, sol.Objective, sol.Value(x), sol.Value(y), sol.DualOf(0))
+	// Output: optimal obj=12 x=4 y=0 machine-price=3
+}
+
+// ExampleProblem_SolveInteger solves a 0/1 knapsack exactly.
+func ExampleProblem_SolveInteger() {
+	p := lp.NewProblem(lp.Maximize)
+	items := []struct{ value, weight float64 }{{60, 10}, {100, 20}, {120, 30}}
+	terms := make([]lp.Term, len(items))
+	for i, it := range items {
+		v := p.AddIntegerVariable(fmt.Sprintf("x%d", i), it.value)
+		terms[i] = lp.Term{Var: v, Coef: it.weight}
+		if _, err := p.AddConstraint("ub", lp.LE, 1, lp.Term{Var: v, Coef: 1}); err != nil {
+			panic(err)
+		}
+	}
+	if _, err := p.AddConstraint("capacity", lp.LE, 50, terms...); err != nil {
+		panic(err)
+	}
+	sol, err := p.SolveInteger()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("best value %g\n", sol.Objective)
+	// Output: best value 220
+}
+
+// ExampleParse reads the LP text format.
+func ExampleParse() {
+	src := `
+max: 5 a + 4 b
+c1: 6 a + 4 b <= 24
+c2: a + 2 b <= 6
+`
+	pp, err := lp.Parse(strings.NewReader(src))
+	if err != nil {
+		panic(err)
+	}
+	sol, err := pp.Problem.Solve()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("obj=%g\n", sol.Objective)
+	// Output: obj=21
+}

@@ -1,0 +1,46 @@
+package lp
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse hardens the LP text parser: arbitrary input must either parse
+// into a well-formed problem or return an error — never panic — and
+// parsed problems must solve without crashing.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"max: 3 x + 2 y\nc1: x + y <= 4\nc2: x + 3 y <= 6\n",
+		"min: x\nlo: x >= 5\n",
+		"max: x\neq: x = 2\nint x\n",
+		"# comment\nmax: 2*a - b\nr: a - b <= 1\n",
+		"max: x\n",
+		"max: 3 4 x\n",
+		"nonsense",
+		"max: x\nc: x <= 1e9\n",
+		"min: -x\nc: -x >= -3\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		pp, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if pp.Problem == nil || pp.Problem.NumVars() == 0 {
+			return
+		}
+		// Cap solver effort: fuzz inputs can encode unbounded or huge
+		// problems; we only assert absence of panics and status sanity.
+		sol, err := pp.Problem.SolveWithOptions(SolveOptions{MaxIterations: 2000})
+		if err != nil {
+			t.Fatalf("Solve returned error for parsed problem: %v", err)
+		}
+		switch sol.Status {
+		case StatusOptimal, StatusInfeasible, StatusUnbounded, StatusIterLimit:
+		default:
+			t.Fatalf("unknown status %v", sol.Status)
+		}
+	})
+}

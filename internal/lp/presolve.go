@@ -1,0 +1,130 @@
+package lp
+
+// Presolve: detect variables fixed to zero by singleton rows and solve a
+// reduced problem without them. Branch and bound generates exactly this
+// row shape in bulk (the down-branch "x <= 0" bound rows of 0/1
+// programs), so eliminating the columns up front shrinks every node LP.
+
+// detectFixedZero scans for singleton rows that pin a variable to zero:
+//
+//	a*x <= 0 with a > 0,   a*x >= 0 with a < 0,   a*x = 0 with a != 0,
+//
+// (x >= 0 supplies the other side). It returns the fixed mask and count.
+func (p *Problem) detectFixedZero() ([]bool, int) {
+	type rowAgg struct {
+		nnz  int
+		col  int
+		coef float64
+	}
+	rows := make([]rowAgg, len(p.rows))
+	for j := range p.cols {
+		for _, e := range p.cols[j].entries {
+			r := &rows[e.row]
+			r.nnz++
+			r.col = j
+			r.coef = e.coef
+		}
+	}
+	fixed := make([]bool, len(p.cols))
+	n := 0
+	for i, agg := range rows {
+		if agg.nnz != 1 || fixed[agg.col] {
+			continue
+		}
+		rhs, op := p.rows[i].rhs, p.rows[i].op
+		pin := false
+		switch op {
+		case LE:
+			pin = agg.coef > 0 && rhs <= feasTol && rhs >= -feasTol
+		case GE:
+			pin = agg.coef < 0 && rhs <= feasTol && rhs >= -feasTol
+		case EQ:
+			pin = agg.coef != 0 && rhs <= feasTol && rhs >= -feasTol
+		}
+		if pin {
+			fixed[agg.col] = true
+			n++
+		}
+	}
+	return fixed, n
+}
+
+// solveReduced rebuilds the problem without the fixed columns, solves it,
+// and expands the solution back to the original variable space. Row
+// indices are preserved so dual values map one to one.
+func (p *Problem) solveReduced(fixed []bool, opts SolveOptions) (*Solution, error) {
+	q := NewProblem(p.sense)
+	remap := make([]Var, len(p.cols)) // old -> new (valid where !fixed)
+	for j := range p.cols {
+		if fixed[j] {
+			continue
+		}
+		remap[j] = q.AddVariable(p.cols[j].name, p.cols[j].obj)
+	}
+	// Rows are recreated in order; entries of fixed columns vanish
+	// (their value is zero).
+	type term struct {
+		v Var
+		c float64
+	}
+	rowTerms := make([][]term, len(p.rows))
+	for j := range p.cols {
+		if fixed[j] {
+			continue
+		}
+		for _, e := range p.cols[j].entries {
+			rowTerms[e.row] = append(rowTerms[e.row], term{v: remap[j], c: e.coef})
+		}
+	}
+	for i, r := range p.rows {
+		terms := make([]Term, len(rowTerms[i]))
+		for k, t := range rowTerms[i] {
+			terms[k] = Term{Var: t.v, Coef: t.c}
+		}
+		if _, err := q.AddConstraint(r.name, r.op, r.rhs, terms...); err != nil {
+			return nil, err
+		}
+	}
+	if q.NumVars() == 0 {
+		// Everything fixed at zero: feasibility reduces to checking the
+		// constant rows, which the empty-variable solve cannot express;
+		// check directly.
+		for _, r := range p.rows {
+			ok := true
+			switch r.op {
+			case LE:
+				ok = r.rhs >= -feasTol
+			case GE:
+				ok = r.rhs <= feasTol
+			case EQ:
+				ok = r.rhs <= feasTol && r.rhs >= -feasTol
+			}
+			if !ok {
+				return &Solution{Status: StatusInfeasible, Nodes: 1}, nil
+			}
+		}
+		return &Solution{
+			Status: StatusOptimal,
+			X:      make([]float64, len(p.cols)),
+			Dual:   make([]float64, len(p.rows)),
+			Nodes:  1,
+		}, nil
+	}
+
+	sol, err := q.solveDirect(opts)
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != StatusOptimal {
+		return sol, nil
+	}
+	// Expand.
+	x := make([]float64, len(p.cols))
+	for j := range p.cols {
+		if !fixed[j] {
+			x[j] = sol.X[remap[j]]
+		}
+	}
+	sol.X = x
+	return sol, nil
+}

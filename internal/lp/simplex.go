@@ -1,0 +1,485 @@
+package lp
+
+import (
+	"math"
+)
+
+// Numerical tolerances of the simplex method.
+const (
+	// reducedCostTol: a column prices as improving only if its reduced
+	// cost is below -reducedCostTol.
+	reducedCostTol = 1e-9
+	// pivotTol: minimum magnitude accepted for a pivot element.
+	pivotTol = 1e-9
+	// feasTol: slack allowed when checking feasibility/integrality.
+	feasTol = 1e-7
+	// degenerateLimit: consecutive degenerate pivots before switching
+	// from Dantzig pricing to Bland's anti-cycling rule.
+	degenerateLimit = 64
+	// pricingWindow: once an improving column has been found, partial
+	// pricing stops scanning after this many further candidates. The
+	// cursor rotates so all columns are eventually priced, preserving
+	// optimality detection (a full silent sweep proves optimality).
+	pricingWindow = 512
+)
+
+// standardForm is the internal "min c'x, Ax = b, x >= 0" representation.
+// Columns 0..n-1 are the original variables, then one slack/surplus per
+// inequality row, then one artificial per row that needs one.
+type standardForm struct {
+	m, n     int       // rows, original columns
+	cols     [][]entry // sparse columns, length nTotal
+	c        []float64 // phase-2 costs, length nTotal
+	b        []float64 // rhs, all >= 0
+	nTotal   int
+	artStart int // first artificial column index (== nTotal if none)
+	basis0   []int
+	// flipped marks original rows whose sign was negated to make b >= 0;
+	// needed to map internal duals back to the caller's rows.
+	flipped []bool
+}
+
+// toStandard converts the builder problem. Maximization is handled by
+// negating the objective.
+func (p *Problem) toStandard() *standardForm {
+	m, n := len(p.rows), len(p.cols)
+	sf := &standardForm{m: m, n: n}
+	sf.b = make([]float64, m)
+	flip := make([]bool, m)
+	ops := make([]Op, m)
+	for i, r := range p.rows {
+		rhs, op := r.rhs, r.op
+		if rhs < 0 {
+			rhs = -rhs
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+			flip[i] = true
+		}
+		sf.b[i] = rhs
+		ops[i] = op
+	}
+	sf.flipped = flip
+
+	sf.cols = make([][]entry, 0, n+2*m)
+	sf.c = make([]float64, 0, n+2*m)
+	sign := 1.0
+	if p.sense == Maximize {
+		sign = -1
+	}
+	for _, col := range p.cols {
+		es := make([]entry, 0, len(col.entries))
+		for _, e := range col.entries {
+			coef := e.coef
+			if flip[e.row] {
+				coef = -coef
+			}
+			es = append(es, entry{row: e.row, coef: coef})
+		}
+		sf.cols = append(sf.cols, es)
+		sf.c = append(sf.c, sign*col.obj)
+	}
+
+	// Slack/surplus columns. A slack on a <= row (rhs >= 0) can start in
+	// the basis; a surplus on a >= row cannot (it would be negative).
+	slackBasis := make([]int, m)
+	for i := range slackBasis {
+		slackBasis[i] = -1
+	}
+	for i, op := range ops {
+		switch op {
+		case LE:
+			sf.cols = append(sf.cols, []entry{{row: i, coef: 1}})
+			sf.c = append(sf.c, 0)
+			slackBasis[i] = len(sf.cols) - 1
+		case GE:
+			sf.cols = append(sf.cols, []entry{{row: i, coef: -1}})
+			sf.c = append(sf.c, 0)
+		case EQ:
+			// no slack
+		}
+	}
+
+	// Artificials for rows without a basic slack.
+	sf.artStart = len(sf.cols)
+	sf.basis0 = make([]int, m)
+	for i := range sf.basis0 {
+		if slackBasis[i] >= 0 {
+			sf.basis0[i] = slackBasis[i]
+			continue
+		}
+		sf.cols = append(sf.cols, []entry{{row: i, coef: 1}})
+		sf.c = append(sf.c, 0)
+		sf.basis0[i] = len(sf.cols) - 1
+	}
+	sf.nTotal = len(sf.cols)
+	return sf
+}
+
+// simplexState is the mutable state of a revised-simplex run.
+type simplexState struct {
+	sf     *standardForm
+	binv   [][]float64 // dense basis inverse, m x m
+	basis  []int       // basis[i] = column occupying basis position i
+	inBas  []bool      // inBas[j] = column j currently basic
+	xB     []float64   // current basic variable values
+	iters  int
+	cursor int // rotating partial-pricing start column
+}
+
+func newSimplexState(sf *standardForm) *simplexState {
+	m := sf.m
+	st := &simplexState{
+		sf:    sf,
+		binv:  make([][]float64, m),
+		basis: make([]int, m),
+		inBas: make([]bool, sf.nTotal),
+		xB:    make([]float64, m),
+	}
+	for i := 0; i < m; i++ {
+		st.binv[i] = make([]float64, m)
+		st.binv[i][i] = 1
+		st.basis[i] = sf.basis0[i]
+		st.inBas[sf.basis0[i]] = true
+		st.xB[i] = sf.b[i]
+	}
+	// Initial basis columns are identity columns except LE slacks, which
+	// are +1 unit columns too, so binv = I and xB = b is exact.
+	return st
+}
+
+// colDot computes pi . A_j for sparse column j.
+func (st *simplexState) colDot(pi []float64, j int) float64 {
+	d := 0.0
+	for _, e := range st.sf.cols[j] {
+		d += pi[e.row] * e.coef
+	}
+	return d
+}
+
+// ftran computes u = B^{-1} A_j.
+func (st *simplexState) ftran(j int, u []float64) {
+	for i := range u {
+		u[i] = 0
+	}
+	for _, e := range st.sf.cols[j] {
+		if e.coef == 0 {
+			continue
+		}
+		col := e.row
+		for i := 0; i < st.sf.m; i++ {
+			u[i] += st.binv[i][col] * e.coef
+		}
+	}
+}
+
+// run performs simplex iterations on the cost vector c until optimality,
+// unboundedness, or the iteration budget is exhausted. allowArt controls
+// whether artificial columns may (re-)enter the basis — true only in
+// phase 1.
+func (st *simplexState) run(c []float64, maxIters int, allowArt bool) Status {
+	m := st.sf.m
+	pi := make([]float64, m)
+	u := make([]float64, m)
+	degenerate := 0
+
+	for ; st.iters < maxIters; st.iters++ {
+		// pi = c_B^T B^{-1}
+		for col := 0; col < m; col++ {
+			s := 0.0
+			for i := 0; i < m; i++ {
+				if cb := c[st.basis[i]]; cb != 0 {
+					s += cb * st.binv[i][col]
+				}
+			}
+			pi[col] = s
+		}
+
+		// Pricing. Bland's rule scans in index order (anti-cycling);
+		// otherwise partial pricing: rotate through the columns from a
+		// moving cursor and, once an improving candidate exists, stop
+		// after pricingWindow further columns. A full sweep with no
+		// improving column proves optimality either way.
+		enter := -1
+		useBland := degenerate >= degenerateLimit
+		bestRC := -reducedCostTol
+		limit := st.sf.nTotal
+		if !allowArt {
+			limit = st.sf.artStart
+		}
+		if useBland {
+			for j := 0; j < limit; j++ {
+				if st.inBas[j] {
+					continue
+				}
+				if c[j]-st.colDot(pi, j) < -reducedCostTol {
+					enter = j
+					break
+				}
+			}
+		} else {
+			sinceFound := 0
+			for scanned := 0; scanned < limit; scanned++ {
+				j := st.cursor + scanned
+				if j >= limit {
+					j -= limit
+				}
+				if st.inBas[j] {
+					continue
+				}
+				rc := c[j] - st.colDot(pi, j)
+				if rc < bestRC {
+					bestRC = rc
+					enter = j
+				}
+				if enter >= 0 {
+					sinceFound++
+					if sinceFound >= pricingWindow {
+						st.cursor = j + 1
+						if st.cursor >= limit {
+							st.cursor = 0
+						}
+						break
+					}
+				}
+			}
+		}
+		if enter < 0 {
+			return StatusOptimal
+		}
+
+		// Direction and ratio test.
+		st.ftran(enter, u)
+		leave := -1
+		var theta float64
+		for i := 0; i < m; i++ {
+			if u[i] <= pivotTol {
+				continue
+			}
+			ratio := st.xB[i] / u[i]
+			if ratio < -feasTol {
+				ratio = 0
+			}
+			if leave == -1 || ratio < theta-pivotTol ||
+				(ratio < theta+pivotTol && st.basis[i] < st.basis[leave]) {
+				leave = i
+				theta = ratio
+			}
+		}
+		if leave == -1 {
+			return StatusUnbounded
+		}
+		if theta < feasTol {
+			degenerate++
+		} else {
+			degenerate = 0
+		}
+
+		// Pivot: update xB, binv, basis bookkeeping.
+		piv := u[leave]
+		for i := 0; i < m; i++ {
+			if i == leave {
+				continue
+			}
+			st.xB[i] -= theta * u[i]
+			if st.xB[i] < 0 && st.xB[i] > -feasTol {
+				st.xB[i] = 0
+			}
+		}
+		st.xB[leave] = theta
+
+		rowL := st.binv[leave]
+		inv := 1 / piv
+		for col := 0; col < m; col++ {
+			rowL[col] *= inv
+		}
+		for i := 0; i < m; i++ {
+			if i == leave {
+				continue
+			}
+			f := u[i]
+			if f == 0 {
+				continue
+			}
+			ri := st.binv[i]
+			for col := 0; col < m; col++ {
+				ri[col] -= f * rowL[col]
+			}
+		}
+		st.inBas[st.basis[leave]] = false
+		st.inBas[enter] = true
+		st.basis[leave] = enter
+	}
+	return StatusIterLimit
+}
+
+// SolveOptions tunes the solver.
+type SolveOptions struct {
+	// MaxIterations caps total simplex pivots. Zero selects an automatic
+	// budget of 200*(m+50) per phase.
+	MaxIterations int
+}
+
+// Solve optimizes the problem as a continuous LP (integrality markers are
+// ignored). It never returns an error for well-formed problems; infeasible
+// and unbounded outcomes are reported in Solution.Status.
+func (p *Problem) Solve() (*Solution, error) {
+	return p.SolveWithOptions(SolveOptions{})
+}
+
+// SolveWithOptions is Solve with explicit tuning parameters.
+func (p *Problem) SolveWithOptions(opts SolveOptions) (*Solution, error) {
+	if len(p.cols) == 0 {
+		return nil, ErrNoVariables
+	}
+	if fixed, n := p.detectFixedZero(); n > 0 {
+		return p.solveReduced(fixed, opts)
+	}
+	return p.solveDirect(opts)
+}
+
+// solveDirect runs the two-phase simplex without the presolve step.
+func (p *Problem) solveDirect(opts SolveOptions) (*Solution, error) {
+	sf := p.toStandard()
+	st := newSimplexState(sf)
+	maxIters := opts.MaxIterations
+	if maxIters == 0 {
+		maxIters = 200 * (sf.m + 50)
+	}
+
+	// Phase 1: only when artificials exist with nonzero value.
+	if sf.artStart < sf.nTotal {
+		c1 := make([]float64, sf.nTotal)
+		for j := sf.artStart; j < sf.nTotal; j++ {
+			c1[j] = 1
+		}
+		status := st.run(c1, maxIters, true)
+		if status == StatusIterLimit {
+			return &Solution{Status: StatusIterLimit, Iterations: st.iters, Nodes: 1}, nil
+		}
+		// Infeasible if any artificial remains positive.
+		artSum := 0.0
+		for i, bj := range st.basis {
+			if bj >= sf.artStart {
+				artSum += st.xB[i]
+			}
+		}
+		if artSum > 1e-6 {
+			return &Solution{Status: StatusInfeasible, Iterations: st.iters, Nodes: 1}, nil
+		}
+		// Pivot out any artificial stuck in the basis at value zero.
+		if err := st.purgeArtificials(); err != nil {
+			return &Solution{Status: StatusInfeasible, Iterations: st.iters, Nodes: 1}, nil
+		}
+	}
+
+	// Phase 2.
+	maxIters += st.iters
+	status := st.run(sf.c, maxIters, false)
+	sol := &Solution{Status: status, Iterations: st.iters, Nodes: 1}
+	if status != StatusOptimal {
+		return sol, nil
+	}
+
+	sol.X = make([]float64, sf.n)
+	obj := 0.0
+	for i, bj := range st.basis {
+		if bj < sf.n {
+			v := st.xB[i]
+			if v < 0 && v > -feasTol {
+				v = 0
+			}
+			sol.X[bj] = v
+		}
+		obj += sf.c[bj] * st.xB[i]
+	}
+	if p.sense == Maximize {
+		obj = -obj
+	}
+	sol.Objective = obj
+
+	// Dual values: pi = c_B B^{-1} prices the internal rows; undo the
+	// sense negation and any row sign flips so Dual[i] = dObjective/db_i
+	// for the caller's row i.
+	pi := st.dualVector(sf.c)
+	sol.Dual = make([]float64, sf.m)
+	for i := range sol.Dual {
+		d := pi[i]
+		if p.sense == Maximize {
+			d = -d
+		}
+		if sf.flipped[i] {
+			d = -d
+		}
+		sol.Dual[i] = d
+	}
+	return sol, nil
+}
+
+// dualVector computes pi = c_B B^{-1} for the current basis.
+func (st *simplexState) dualVector(c []float64) []float64 {
+	m := st.sf.m
+	pi := make([]float64, m)
+	for col := 0; col < m; col++ {
+		s := 0.0
+		for i := 0; i < m; i++ {
+			if cb := c[st.basis[i]]; cb != 0 {
+				s += cb * st.binv[i][col]
+			}
+		}
+		pi[col] = s
+	}
+	return pi
+}
+
+// purgeArtificials removes zero-valued artificial variables from the basis
+// by pivoting in any non-artificial column with a nonzero entry in that
+// basis row; if none exists the row is redundant and the artificial stays
+// at zero harmlessly (it is cost-zero in phase 2 and barred from pricing).
+func (st *simplexState) purgeArtificials() error {
+	m := st.sf.m
+	u := make([]float64, m)
+	for i := 0; i < m; i++ {
+		if st.basis[i] < st.sf.artStart {
+			continue
+		}
+		// Find a replacement column with |(B^{-1}A_j)_i| above tolerance.
+		for j := 0; j < st.sf.artStart; j++ {
+			if st.inBas[j] {
+				continue
+			}
+			st.ftran(j, u)
+			if math.Abs(u[i]) <= pivotTol {
+				continue
+			}
+			// Pivot j in at row i (degenerate pivot: xB[i] == 0).
+			piv := u[i]
+			rowI := st.binv[i]
+			inv := 1 / piv
+			for col := 0; col < m; col++ {
+				rowI[col] *= inv
+			}
+			for k := 0; k < m; k++ {
+				if k == i {
+					continue
+				}
+				f := u[k]
+				if f == 0 {
+					continue
+				}
+				rk := st.binv[k]
+				for col := 0; col < m; col++ {
+					rk[col] -= f * rowI[col]
+				}
+			}
+			st.inBas[st.basis[i]] = false
+			st.inBas[j] = true
+			st.basis[i] = j
+			break
+		}
+	}
+	return nil
+}

@@ -1,0 +1,282 @@
+package mec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mecoffload/internal/dist"
+	"mecoffload/internal/topology"
+)
+
+func testTopo(t *testing.T, n int, seed int64) *topology.Topology {
+	t.Helper()
+	topo, err := topology.Waxman(topology.Config{N: n}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("Waxman: %v", err)
+	}
+	return topo
+}
+
+func testNet(t *testing.T, n int, seed int64) *Network {
+	t.Helper()
+	net, err := RandomNetwork(n, 3000, 3600, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("RandomNetwork: %v", err)
+	}
+	return net
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	topo := testTopo(t, 2, 1)
+	cases := []struct {
+		name string
+		cfg  NetworkConfig
+	}{
+		{"no stations", NetworkConfig{Topo: topo}},
+		{"size mismatch", NetworkConfig{Stations: make([]BaseStation, 3), Topo: topo}},
+		{"nil topo", NetworkConfig{Stations: []BaseStation{{CapacityMHz: 1}, {CapacityMHz: 1}}}},
+		{"zero capacity", NetworkConfig{Stations: []BaseStation{{CapacityMHz: 0}, {CapacityMHz: 1}}, Topo: topo}},
+		{"negative speed", NetworkConfig{
+			Stations: []BaseStation{{CapacityMHz: 1, SpeedFactor: -1}, {CapacityMHz: 1}}, Topo: topo}},
+		{"negative cunit", NetworkConfig{
+			Stations: []BaseStation{{CapacityMHz: 1}, {CapacityMHz: 1}}, Topo: topo, CUnit: -1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewNetwork(tc.cfg); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+func TestNetworkDefaults(t *testing.T) {
+	topo := testTopo(t, 2, 2)
+	net, err := NewNetwork(NetworkConfig{
+		Stations: []BaseStation{{CapacityMHz: 3200}, {CapacityMHz: 1500}},
+		Topo:     topo,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.SlotMHz() != DefaultSlotMHz || net.CUnit() != DefaultCUnit {
+		t.Fatalf("defaults not applied: slot=%v cunit=%v", net.SlotMHz(), net.CUnit())
+	}
+	if net.NumSlots(0) != 3 || net.NumSlots(1) != 1 {
+		t.Fatalf("slots = %d, %d; want 3, 1", net.NumSlots(0), net.NumSlots(1))
+	}
+	if got := net.SlotRate(2); got != 2*DefaultSlotMHz/DefaultCUnit {
+		t.Fatalf("SlotRate(2) = %v", got)
+	}
+	if got := net.RateToMHz(40); got != 800 {
+		t.Fatalf("RateToMHz(40) = %v, want 800", got)
+	}
+	st, err := net.Station(0)
+	if err != nil || st.SpeedFactor != 1 {
+		t.Fatalf("station 0: %+v, %v (speed factor should default to 1)", st, err)
+	}
+	if _, err := net.Station(9); err == nil {
+		t.Fatal("want error for station out of range")
+	}
+	if got := net.TotalCapacity(); got != 4700 {
+		t.Fatalf("total capacity %v", got)
+	}
+}
+
+func TestDelaysSymmetricAndTriangle(t *testing.T) {
+	net := testNet(t, 12, 3)
+	for u := 0; u < 12; u++ {
+		if net.OneWayDelayMS(u, u) != 0 {
+			t.Fatalf("self delay nonzero at %d", u)
+		}
+		for v := 0; v < 12; v++ {
+			duv, dvu := net.OneWayDelayMS(u, v), net.OneWayDelayMS(v, u)
+			if math.Abs(duv-dvu) > 1e-9 {
+				t.Fatalf("asymmetric delay (%d, %d): %v vs %v", u, v, duv, dvu)
+			}
+			if net.RoundTripDelayMS(u, v) != 2*duv {
+				t.Fatal("round trip must be twice one way")
+			}
+			for w := 0; w < 12; w++ {
+				if duv > net.OneWayDelayMS(u, w)+net.OneWayDelayMS(w, v)+1e-9 {
+					t.Fatalf("triangle inequality violated (%d, %d, %d)", u, w, v)
+				}
+			}
+		}
+	}
+}
+
+func TestNeighborsByDistance(t *testing.T) {
+	net := testNet(t, 8, 4)
+	for from := 0; from < 8; from++ {
+		ns := net.NeighborsByDistance(from)
+		if len(ns) != 7 {
+			t.Fatalf("neighbors of %d: %d entries", from, len(ns))
+		}
+		for i := 1; i < len(ns); i++ {
+			if net.OneWayDelayMS(from, ns[i]) < net.OneWayDelayMS(from, ns[i-1])-1e-12 {
+				t.Fatalf("neighbors of %d not sorted by distance", from)
+			}
+		}
+	}
+	nearest, d := net.NearestStation(0, []int{1, 2, 3})
+	if nearest < 1 || nearest > 3 || d <= 0 {
+		t.Fatalf("nearest = %d at %v", nearest, d)
+	}
+}
+
+func mkRequest(t *testing.T, id int) *Request {
+	t.Helper()
+	d, err := dist.NewRateReward([]dist.Outcome{
+		{Rate: 30, Prob: 0.5, Reward: 400},
+		{Rate: 50, Prob: 0.5, Reward: 600},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Request{
+		ID:            id,
+		AccessStation: 0,
+		Tasks: []Task{
+			{Name: "render", OutputKb: 100, WorkMS: 30},
+			{Name: "track", OutputKb: 64, WorkMS: 12},
+		},
+		DeadlineMS: 200,
+		Dist:       d,
+	}
+}
+
+func TestRequestValidate(t *testing.T) {
+	r := mkRequest(t, 0)
+	if err := r.Validate(); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	bad := *r
+	bad.Tasks = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("want error for no tasks")
+	}
+	bad = *r
+	bad.Tasks = []Task{{WorkMS: -1}}
+	if err := bad.Validate(); err == nil {
+		t.Error("want error for negative work")
+	}
+	bad = *r
+	bad.Dist = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("want error for nil distribution")
+	}
+	bad = *r
+	bad.DeadlineMS = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("want error for zero deadline")
+	}
+}
+
+func TestRealizeOnce(t *testing.T) {
+	r := mkRequest(t, 1)
+	if _, ok := r.Realized(); ok {
+		t.Fatal("fresh request should not be realized")
+	}
+	if _, err := r.MustRealized(); err == nil {
+		t.Fatal("MustRealized should fail before Realize")
+	}
+	rng := rand.New(rand.NewSource(5))
+	first := r.Realize(rng)
+	for i := 0; i < 10; i++ {
+		if got := r.Realize(rng); got != first {
+			t.Fatal("Realize must be idempotent")
+		}
+	}
+	out, err := r.MustRealized()
+	if err != nil || out != first {
+		t.Fatalf("MustRealized = %v, %v", out, err)
+	}
+	r.ResetRealization()
+	if _, ok := r.Realized(); ok {
+		t.Fatal("ResetRealization did not clear state")
+	}
+	forced := first
+	forced.Reward = 123
+	r.ForceOutcome(forced)
+	if got, _ := r.Realized(); got.Reward != 123 {
+		t.Fatal("ForceOutcome not applied")
+	}
+}
+
+func TestRequestDelays(t *testing.T) {
+	net := testNet(t, 5, 6)
+	r := mkRequest(t, 2)
+	st, err := net.Station(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantProc := (30 + 12) * st.SpeedFactor
+	if got := r.ProcDelayMS(st); math.Abs(got-wantProc) > 1e-9 {
+		t.Fatalf("proc delay %v, want %v", got, wantProc)
+	}
+	d0, err := r.TaskProcDelayMS(0, st)
+	if err != nil || math.Abs(d0-30*st.SpeedFactor) > 1e-9 {
+		t.Fatalf("task 0 proc %v, %v", d0, err)
+	}
+	if _, err := r.TaskProcDelayMS(5, st); err == nil {
+		t.Fatal("want error for task index out of range")
+	}
+	want := net.RoundTripDelayMS(0, 1) + wantProc
+	if got := r.ServiceDelayMS(net, 1); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("service delay %v, want %v", got, want)
+	}
+	// Delay feasibility: an enormous wait breaks any deadline.
+	if r.DelayFeasible(net, 1, 1000, DefaultSlotLengthMS) {
+		t.Fatal("1000-slot wait should be infeasible")
+	}
+}
+
+func TestHoldSlots(t *testing.T) {
+	r := mkRequest(t, 3)
+	if r.HoldSlots() != 1 {
+		t.Fatalf("default hold %d, want 1", r.HoldSlots())
+	}
+	r.DurationSlots = 40
+	if r.HoldSlots() != 40 {
+		t.Fatalf("hold %d, want 40", r.HoldSlots())
+	}
+	r.DurationSlots = -2
+	if r.HoldSlots() != 1 {
+		t.Fatalf("negative duration should clamp to 1")
+	}
+}
+
+func TestCloneShallow(t *testing.T) {
+	r := mkRequest(t, 4)
+	r.Realize(rand.New(rand.NewSource(7)))
+	c := r.CloneShallow()
+	if _, ok := c.Realized(); ok {
+		t.Fatal("clone must clear realization")
+	}
+	if c.ID != r.ID || len(c.Tasks) != len(r.Tasks) {
+		t.Fatal("clone lost fields")
+	}
+}
+
+func TestRandomNetworkProperties(t *testing.T) {
+	net := testNet(t, 20, 8)
+	if net.NumStations() != 20 {
+		t.Fatalf("stations = %d", net.NumStations())
+	}
+	for _, st := range net.Stations() {
+		if st.CapacityMHz < 3000 || st.CapacityMHz > 3600 {
+			t.Fatalf("capacity %v outside [3000, 3600]", st.CapacityMHz)
+		}
+		if st.SpeedFactor < 0.8 || st.SpeedFactor > 1.2 {
+			t.Fatalf("speed factor %v outside [0.8, 1.2]", st.SpeedFactor)
+		}
+	}
+	// Stations() must be a copy.
+	sts := net.Stations()
+	sts[0].CapacityMHz = 1
+	if net.Capacity(0) == 1 {
+		t.Fatal("Stations leaked internal state")
+	}
+}

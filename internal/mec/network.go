@@ -1,0 +1,245 @@
+// Package mec models the paper's system (Section III): an MEC network
+// G = (BS, E) of 5G base stations interconnected by backhaul paths, AR
+// requests composed of task pipelines with uncertain data rates, and the
+// delay model of Eq. (2).
+//
+// Units used throughout the repository:
+//   - computing capacity: MHz
+//   - data rate: MB/s
+//   - delay: milliseconds
+//   - reward: dollars
+//   - time: discrete slots of SlotLengthMS each
+package mec
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"mecoffload/internal/graph"
+	"mecoffload/internal/topology"
+)
+
+// Paper defaults (Section VI-A).
+const (
+	// DefaultCUnit is the computing resource consumed per unit data rate:
+	// 20 MHz per MB/s.
+	DefaultCUnit = 20.0
+	// DefaultSlotMHz is the capacity of one resource slot: 1000 MHz.
+	DefaultSlotMHz = 1000.0
+	// DefaultSlotLengthMS is the length of a scheduling time slot: 50 ms.
+	DefaultSlotLengthMS = 50.0
+	// DefaultDeadlineMS is the maximum response delay of an AR request.
+	DefaultDeadlineMS = 200.0
+)
+
+// Errors returned by network constructors and accessors.
+var (
+	ErrNoStations  = errors.New("mec: network needs at least one base station")
+	ErrBadCapacity = errors.New("mec: invalid station capacity")
+	ErrBadStation  = errors.New("mec: station index out of range")
+)
+
+// BaseStation is one 5G base station with co-located edge computing.
+type BaseStation struct {
+	// ID is the station's vertex index in the backhaul graph.
+	ID int
+	// CapacityMHz is the total computing capacity C(bs_i).
+	CapacityMHz float64
+	// SpeedFactor scales task processing delays on this station;
+	// 1.0 is nominal, smaller is faster. Models heterogeneous
+	// accelerators ("the delays of processing rho_unit in different base
+	// stations varies", Section III-D).
+	SpeedFactor float64
+}
+
+// Network is an immutable MEC network: base stations plus backhaul
+// shortest-path structure. Build one per experiment and share it across
+// algorithm runs; all methods are safe for concurrent reads.
+type Network struct {
+	stations []BaseStation
+	topo     *topology.Topology
+	ap       *graph.AllPairs
+	// slotMHz is C_l, the capacity of one resource slot.
+	slotMHz float64
+	// cUnit is C_unit, MHz consumed per MB/s of data rate.
+	cUnit float64
+}
+
+// NetworkConfig parameterizes NewNetwork.
+type NetworkConfig struct {
+	// Stations describes each base station. CapacityMHz must be positive;
+	// a zero SpeedFactor defaults to 1.
+	Stations []BaseStation
+	// Topo is the backhaul topology; its graph must have exactly
+	// len(Stations) vertices.
+	Topo *topology.Topology
+	// SlotMHz is the resource-slot size C_l (default 1000 MHz).
+	SlotMHz float64
+	// CUnit is the MHz consumed per MB/s (default 20).
+	CUnit float64
+}
+
+// NewNetwork validates the configuration and precomputes all-pairs
+// shortest backhaul paths.
+func NewNetwork(cfg NetworkConfig) (*Network, error) {
+	if len(cfg.Stations) == 0 {
+		return nil, ErrNoStations
+	}
+	if cfg.Topo == nil || cfg.Topo.Graph.N() != len(cfg.Stations) {
+		return nil, fmt.Errorf("mec: topology size mismatch: %d stations", len(cfg.Stations))
+	}
+	if cfg.SlotMHz == 0 {
+		cfg.SlotMHz = DefaultSlotMHz
+	}
+	if cfg.CUnit == 0 {
+		cfg.CUnit = DefaultCUnit
+	}
+	if cfg.SlotMHz < 0 || cfg.CUnit <= 0 {
+		return nil, fmt.Errorf("%w: slot=%v cUnit=%v", ErrBadCapacity, cfg.SlotMHz, cfg.CUnit)
+	}
+	stations := make([]BaseStation, len(cfg.Stations))
+	copy(stations, cfg.Stations)
+	for i := range stations {
+		stations[i].ID = i
+		if stations[i].CapacityMHz <= 0 {
+			return nil, fmt.Errorf("%w: station %d capacity %v", ErrBadCapacity, i, stations[i].CapacityMHz)
+		}
+		if stations[i].SpeedFactor == 0 {
+			stations[i].SpeedFactor = 1
+		}
+		if stations[i].SpeedFactor < 0 {
+			return nil, fmt.Errorf("%w: station %d speed factor %v", ErrBadCapacity, i, stations[i].SpeedFactor)
+		}
+	}
+	return &Network{
+		stations: stations,
+		topo:     cfg.Topo,
+		ap:       cfg.Topo.Graph.AllPairsShortestPaths(),
+		slotMHz:  cfg.SlotMHz,
+		cUnit:    cfg.CUnit,
+	}, nil
+}
+
+// NumStations returns |BS|.
+func (n *Network) NumStations() int { return len(n.stations) }
+
+// Station returns the i-th base station.
+func (n *Network) Station(i int) (BaseStation, error) {
+	if i < 0 || i >= len(n.stations) {
+		return BaseStation{}, fmt.Errorf("%w: %d", ErrBadStation, i)
+	}
+	return n.stations[i], nil
+}
+
+// Stations returns a copy of all base stations.
+func (n *Network) Stations() []BaseStation {
+	out := make([]BaseStation, len(n.stations))
+	copy(out, n.stations)
+	return out
+}
+
+// Capacity returns C(bs_i) in MHz.
+func (n *Network) Capacity(i int) float64 { return n.stations[i].CapacityMHz }
+
+// SlotMHz returns the resource-slot size C_l.
+func (n *Network) SlotMHz() float64 { return n.slotMHz }
+
+// CUnit returns the MHz consumed per MB/s of data rate.
+func (n *Network) CUnit() float64 { return n.cUnit }
+
+// NumSlots returns L = floor(C(bs_i)/C_l) for station i.
+func (n *Network) NumSlots(i int) int {
+	return int(n.stations[i].CapacityMHz / n.slotMHz)
+}
+
+// SlotRate converts l resource slots of station capacity into the maximum
+// data rate they can process: l*C_l/C_unit MB/s.
+func (n *Network) SlotRate(l int) float64 {
+	return float64(l) * n.slotMHz / n.cUnit
+}
+
+// RateToMHz converts a data rate into its computing demand rho*C_unit.
+func (n *Network) RateToMHz(rate float64) float64 { return rate * n.cUnit }
+
+// OneWayDelayMS returns the shortest-path one-way transmission delay of
+// rho_unit data between stations u and v (0 when u == v, +Inf when
+// disconnected).
+func (n *Network) OneWayDelayMS(u, v int) float64 {
+	if u == v {
+		return 0
+	}
+	return n.ap.Dist(u, v)
+}
+
+// RoundTripDelayMS is Eq. (2)'s transmission term: 2 * sum of per-link
+// delays along the shortest path p_ji.
+func (n *Network) RoundTripDelayMS(u, v int) float64 {
+	return 2 * n.OneWayDelayMS(u, v)
+}
+
+// PathBetween returns the station sequence of the shortest backhaul path.
+func (n *Network) PathBetween(u, v int) []int { return n.ap.Path(u, v) }
+
+// NearestStation returns the station closest (in backhaul delay) to "from"
+// among candidates, excluding "from" itself. Used by algorithm Heu to
+// migrate a task "to the closest base station" (Algorithm 2 step 13).
+func (n *Network) NearestStation(from int, candidates []int) (int, float64) {
+	return n.ap.Nearest(from, candidates)
+}
+
+// NeighborsByDistance returns all other stations sorted by ascending
+// backhaul delay from the given station.
+func (n *Network) NeighborsByDistance(from int) []int {
+	out := make([]int, 0, len(n.stations)-1)
+	for i := range n.stations {
+		if i != from {
+			out = append(out, i)
+		}
+	}
+	// Insertion sort by distance: station counts are small (10-50).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && n.ap.Dist(from, out[j]) < n.ap.Dist(from, out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Edges returns the backhaul links with their per-unit delays (ms).
+func (n *Network) Edges() []graph.Edge { return n.topo.Graph.Edges() }
+
+// NodePositions returns the stations' generated coordinates on the unit
+// square (cosmetic; used for plotting and serialization).
+func (n *Network) NodePositions() []topology.Node {
+	out := make([]topology.Node, len(n.topo.Nodes))
+	copy(out, n.topo.Nodes)
+	return out
+}
+
+// TotalCapacity returns the sum of station capacities in MHz.
+func (n *Network) TotalCapacity() float64 {
+	total := 0.0
+	for _, s := range n.stations {
+		total += s.CapacityMHz
+	}
+	return total
+}
+
+// RandomNetwork builds a paper-default network: numStations base stations
+// on a Waxman topology, capacities uniform in [minCapMHz, maxCapMHz], and
+// speed factors uniform in [0.8, 1.2].
+func RandomNetwork(numStations int, minCapMHz, maxCapMHz float64, rng *rand.Rand) (*Network, error) {
+	topo, err := topology.Waxman(topology.Config{N: numStations}, rng)
+	if err != nil {
+		return nil, err
+	}
+	stations := make([]BaseStation, numStations)
+	for i := range stations {
+		stations[i] = BaseStation{
+			CapacityMHz: minCapMHz + rng.Float64()*(maxCapMHz-minCapMHz),
+			SpeedFactor: 0.8 + rng.Float64()*0.4,
+		}
+	}
+	return NewNetwork(NetworkConfig{Stations: stations, Topo: topo})
+}

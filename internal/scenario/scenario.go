@@ -1,0 +1,205 @@
+// Package scenario serializes evaluation scenarios — an MEC network plus
+// an AR request workload — as JSON, so experiment inputs are reproducible
+// artifacts that can be shared, diffed, and replayed across machines
+// independent of the random generators that produced them.
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"mecoffload/internal/dist"
+	"mecoffload/internal/graph"
+	"mecoffload/internal/mec"
+	"mecoffload/internal/topology"
+)
+
+// ErrDecode reports malformed or inconsistent scenario JSON.
+var ErrDecode = errors.New("scenario: invalid scenario document")
+
+// Format version written into every document.
+const formatVersion = 1
+
+// Document is the on-disk scenario representation.
+type Document struct {
+	Version  int           `json:"version"`
+	Network  networkJSON   `json:"network"`
+	Requests []requestJSON `json:"requests"`
+}
+
+type networkJSON struct {
+	SlotMHz  float64       `json:"slotMHz"`
+	CUnit    float64       `json:"cUnit"`
+	Stations []stationJSON `json:"stations"`
+	Edges    []edgeJSON    `json:"edges"`
+}
+
+type stationJSON struct {
+	CapacityMHz float64 `json:"capacityMHz"`
+	SpeedFactor float64 `json:"speedFactor"`
+	X           float64 `json:"x"`
+	Y           float64 `json:"y"`
+}
+
+type edgeJSON struct {
+	U       int     `json:"u"`
+	V       int     `json:"v"`
+	DelayMS float64 `json:"delayMS"`
+}
+
+type requestJSON struct {
+	ID            int           `json:"id"`
+	ArrivalSlot   int           `json:"arrivalSlot"`
+	AccessStation int           `json:"accessStation"`
+	DeadlineMS    float64       `json:"deadlineMS"`
+	DurationSlots int           `json:"durationSlots,omitempty"`
+	Tasks         []taskJSON    `json:"tasks"`
+	Outcomes      []outcomeJSON `json:"outcomes"`
+}
+
+type taskJSON struct {
+	Name     string  `json:"name"`
+	OutputKb float64 `json:"outputKb"`
+	WorkMS   float64 `json:"workMS"`
+}
+
+type outcomeJSON struct {
+	Rate   float64 `json:"rateMBs"`
+	Prob   float64 `json:"prob"`
+	Reward float64 `json:"reward"`
+}
+
+// Encode converts a network and workload into a document.
+func Encode(n *mec.Network, reqs []*mec.Request) (*Document, error) {
+	if n == nil {
+		return nil, fmt.Errorf("%w: nil network", ErrDecode)
+	}
+	doc := &Document{Version: formatVersion}
+	doc.Network.SlotMHz = n.SlotMHz()
+	doc.Network.CUnit = n.CUnit()
+	positions := n.NodePositions()
+	for i, st := range n.Stations() {
+		sj := stationJSON{CapacityMHz: st.CapacityMHz, SpeedFactor: st.SpeedFactor}
+		if i < len(positions) {
+			sj.X, sj.Y = positions[i].X, positions[i].Y
+		}
+		doc.Network.Stations = append(doc.Network.Stations, sj)
+	}
+	for _, e := range n.Edges() {
+		doc.Network.Edges = append(doc.Network.Edges, edgeJSON{U: e.U, V: e.V, DelayMS: e.Weight})
+	}
+	for _, r := range reqs {
+		rj := requestJSON{
+			ID:            r.ID,
+			ArrivalSlot:   r.ArrivalSlot,
+			AccessStation: r.AccessStation,
+			DeadlineMS:    r.DeadlineMS,
+			DurationSlots: r.DurationSlots,
+		}
+		for _, t := range r.Tasks {
+			rj.Tasks = append(rj.Tasks, taskJSON{Name: t.Name, OutputKb: t.OutputKb, WorkMS: t.WorkMS})
+		}
+		for _, o := range r.Dist.Outcomes() {
+			rj.Outcomes = append(rj.Outcomes, outcomeJSON{Rate: o.Rate, Prob: o.Prob, Reward: o.Reward})
+		}
+		doc.Requests = append(doc.Requests, rj)
+	}
+	return doc, nil
+}
+
+// Decode rebuilds the network and workload from a document.
+func Decode(doc *Document) (*mec.Network, []*mec.Request, error) {
+	if doc == nil || doc.Version != formatVersion {
+		return nil, nil, fmt.Errorf("%w: version %d", ErrDecode, versionOf(doc))
+	}
+	nStations := len(doc.Network.Stations)
+	if nStations == 0 {
+		return nil, nil, fmt.Errorf("%w: no stations", ErrDecode)
+	}
+	g := graph.New(nStations)
+	nodes := make([]topology.Node, nStations)
+	stations := make([]mec.BaseStation, nStations)
+	for i, sj := range doc.Network.Stations {
+		stations[i] = mec.BaseStation{CapacityMHz: sj.CapacityMHz, SpeedFactor: sj.SpeedFactor}
+		nodes[i] = topology.Node{X: sj.X, Y: sj.Y}
+	}
+	for _, ej := range doc.Network.Edges {
+		if _, err := g.AddEdge(ej.U, ej.V, ej.DelayMS); err != nil {
+			return nil, nil, fmt.Errorf("%w: edge (%d, %d): %v", ErrDecode, ej.U, ej.V, err)
+		}
+	}
+	net, err := mec.NewNetwork(mec.NetworkConfig{
+		Stations: stations,
+		Topo:     &topology.Topology{Graph: g, Nodes: nodes},
+		SlotMHz:  doc.Network.SlotMHz,
+		CUnit:    doc.Network.CUnit,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrDecode, err)
+	}
+
+	reqs := make([]*mec.Request, 0, len(doc.Requests))
+	for _, rj := range doc.Requests {
+		outcomes := make([]dist.Outcome, len(rj.Outcomes))
+		for i, oj := range rj.Outcomes {
+			outcomes[i] = dist.Outcome{Rate: oj.Rate, Prob: oj.Prob, Reward: oj.Reward}
+		}
+		d, err := dist.NewRateReward(outcomes)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: request %d distribution: %v", ErrDecode, rj.ID, err)
+		}
+		tasks := make([]mec.Task, len(rj.Tasks))
+		for i, tj := range rj.Tasks {
+			tasks[i] = mec.Task{Name: tj.Name, OutputKb: tj.OutputKb, WorkMS: tj.WorkMS}
+		}
+		r := &mec.Request{
+			ID:            rj.ID,
+			ArrivalSlot:   rj.ArrivalSlot,
+			AccessStation: rj.AccessStation,
+			Tasks:         tasks,
+			DeadlineMS:    rj.DeadlineMS,
+			DurationSlots: rj.DurationSlots,
+			Dist:          d,
+		}
+		if rj.AccessStation < 0 || rj.AccessStation >= nStations {
+			return nil, nil, fmt.Errorf("%w: request %d access station %d", ErrDecode, rj.ID, rj.AccessStation)
+		}
+		if err := r.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("%w: request %d: %v", ErrDecode, rj.ID, err)
+		}
+		reqs = append(reqs, r)
+	}
+	return net, reqs, nil
+}
+
+func versionOf(doc *Document) int {
+	if doc == nil {
+		return -1
+	}
+	return doc.Version
+}
+
+// Write encodes a scenario as indented JSON.
+func Write(w io.Writer, n *mec.Network, reqs []*mec.Request) error {
+	doc, err := Encode(n, reqs)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("scenario: encoding: %w", err)
+	}
+	return nil
+}
+
+// Read decodes a scenario from JSON.
+func Read(r io.Reader) (*mec.Network, []*mec.Request, error) {
+	var doc Document
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrDecode, err)
+	}
+	return Decode(&doc)
+}

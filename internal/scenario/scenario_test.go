@@ -1,0 +1,137 @@
+package scenario
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mecoffload/internal/core"
+	"mecoffload/internal/mec"
+	"mecoffload/internal/workload"
+)
+
+func fixture(t *testing.T, seed int64) (*mec.Network, []*mec.Request) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net, err := mec.RandomNetwork(8, 3000, 3600, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := workload.Generate(workload.Config{
+		NumRequests: 40, NumStations: 8, GeometricRates: true, ArrivalHorizon: 20,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, reqs
+}
+
+func TestRoundTripPreservesBehavior(t *testing.T) {
+	net, reqs := fixture(t, 1)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, net, reqs); err != nil {
+		t.Fatal(err)
+	}
+	net2, reqs2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net2.NumStations() != net.NumStations() || len(reqs2) != len(reqs) {
+		t.Fatalf("sizes changed: %d/%d stations, %d/%d requests",
+			net2.NumStations(), net.NumStations(), len(reqs2), len(reqs))
+	}
+
+	// The decoded scenario must behave identically: same Heu run under the
+	// same seed.
+	workload.Reset(reqs)
+	a, err := core.Heu(net, reqs, rand.New(rand.NewSource(9)), core.HeuOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.Heu(net2, reqs2, rand.New(rand.NewSource(9)), core.HeuOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalReward != b.TotalReward || a.Served != b.Served {
+		t.Fatalf("behavior diverged after round trip: %v/%d vs %v/%d",
+			a.TotalReward, a.Served, b.TotalReward, b.Served)
+	}
+}
+
+func TestRoundTripFields(t *testing.T) {
+	net, reqs := fixture(t, 2)
+	doc, err := Encode(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net2, reqs2, err := Decode(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net2.SlotMHz() != net.SlotMHz() || net2.CUnit() != net.CUnit() {
+		t.Fatal("network parameters changed")
+	}
+	for i := range reqs {
+		if reqs[i].ArrivalSlot != reqs2[i].ArrivalSlot ||
+			reqs[i].AccessStation != reqs2[i].AccessStation ||
+			reqs[i].DeadlineMS != reqs2[i].DeadlineMS ||
+			reqs[i].DurationSlots != reqs2[i].DurationSlots ||
+			len(reqs[i].Tasks) != len(reqs2[i].Tasks) ||
+			reqs[i].Dist.Len() != reqs2[i].Dist.Len() {
+			t.Fatalf("request %d fields changed", i)
+		}
+		if reqs[i].ExpectedReward() != reqs2[i].ExpectedReward() {
+			t.Fatalf("request %d distribution changed", i)
+		}
+	}
+	// Backhaul delays preserved.
+	for u := 0; u < net.NumStations(); u++ {
+		for v := 0; v < net.NumStations(); v++ {
+			if net.OneWayDelayMS(u, v) != net2.OneWayDelayMS(u, v) {
+				t.Fatalf("delay (%d, %d) changed", u, v)
+			}
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	net, reqs := fixture(t, 3)
+	cases := []struct {
+		name   string
+		mutate func(*Document)
+	}{
+		{"nil", nil},
+		{"bad version", func(d *Document) { d.Version = 99 }},
+		{"no stations", func(d *Document) { d.Network.Stations = nil }},
+		{"bad edge", func(d *Document) { d.Network.Edges[0].U = 99 }},
+		{"bad access", func(d *Document) { d.Requests[0].AccessStation = 99 }},
+		{"bad distribution", func(d *Document) { d.Requests[0].Outcomes[0].Prob = 5 }},
+		{"no tasks", func(d *Document) { d.Requests[0].Tasks = nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.mutate == nil {
+				if _, _, err := Decode(nil); err == nil {
+					t.Fatal("want error for nil document")
+				}
+				return
+			}
+			clone, err := Encode(net, reqs) // fresh copy
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.mutate(clone)
+			if _, _, err := Decode(clone); err == nil {
+				t.Fatal("want decode error")
+			}
+		})
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, _, err := Read(strings.NewReader("{broken")); err == nil {
+		t.Fatal("want error for malformed JSON")
+	}
+}

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mecoffload/internal/bandit"
+	"mecoffload/internal/core"
+)
+
+// ErrBadThreshold reports an invalid threshold range for DynamicRR.
+var ErrBadThreshold = errors.New("sim: invalid threshold range")
+
+// ThresholdLearner abstracts the continuous-action bandit that picks
+// DynamicRR's per-slot threshold: SelectValue returns an opaque arm key
+// and the threshold value; Update feeds back the slot reward for that key.
+// bandit.Lipschitz (fixed discretization, the paper's Algorithm 3) and
+// bandit.Zooming (adaptive discretization, the Slivkins extension) both
+// satisfy it.
+type ThresholdLearner interface {
+	SelectValue() (key int, value float64)
+	Update(key int, reward float64)
+}
+
+// DynamicRROptions parameterizes NewDynamicRR.
+type DynamicRROptions struct {
+	// MinThresholdMHz and MaxThresholdMHz bound the per-request resource
+	// threshold range Z = [C^th_min, C^th_max]. Zero values select
+	// [200, 1200] MHz: from far below one request's expected demand to
+	// above the largest possible demand.
+	MinThresholdMHz, MaxThresholdMHz float64
+	// Kappa is the number of discretized arms (zero selects 16).
+	Kappa int
+	// Policy overrides the arm-selection policy; nil selects the paper's
+	// successive elimination. Used by the ablation study.
+	Policy bandit.Policy
+	// Learner overrides the whole threshold learner (e.g. a
+	// bandit.Zooming for adaptive discretization); when set, Kappa and
+	// Policy are ignored.
+	Learner ThresholdLearner
+	// Passes bounds per-slot rounding passes (zero selects 2).
+	Passes int
+	// RoundingDenominator mirrors core.ApproOptions (default 4).
+	RoundingDenominator float64
+}
+
+// DynamicRR is Algorithm 3: the online learning scheduler for the dynamic
+// reward maximization problem. Each slot it
+//
+//  1. selects a threshold C^th from the discretized interval Z' via a
+//     Lipschitz bandit (successive elimination by default),
+//  2. sorts the pending requests by increasing expected data rate and
+//     admits them into R_t while the average free computing resource per
+//     admitted request stays at least C^th (the round-robin share test),
+//  3. schedules R_t with algorithm Heu, the LP replaced by LP-PT, and
+//  4. feeds the slot's realized reward back to the bandit.
+type DynamicRR struct {
+	learner ThresholdLearner
+	lip     *bandit.Lipschitz // non-nil only for the fixed-grid learner
+	lastArm int
+	played  bool
+	opts    DynamicRROptions
+}
+
+var _ Scheduler = (*DynamicRR)(nil)
+var _ FeedbackScheduler = (*DynamicRR)(nil)
+
+// NewDynamicRR builds the scheduler.
+func NewDynamicRR(opts DynamicRROptions) (*DynamicRR, error) {
+	if opts.MinThresholdMHz == 0 && opts.MaxThresholdMHz == 0 {
+		opts.MinThresholdMHz, opts.MaxThresholdMHz = 200, 1200
+	}
+	if opts.Kappa == 0 {
+		opts.Kappa = 16
+	}
+	if opts.MinThresholdMHz <= 0 || opts.MaxThresholdMHz < opts.MinThresholdMHz || opts.Kappa < 1 {
+		return nil, fmt.Errorf("%w: [%v, %v] kappa=%d",
+			ErrBadThreshold, opts.MinThresholdMHz, opts.MaxThresholdMHz, opts.Kappa)
+	}
+	if opts.Learner != nil {
+		return &DynamicRR{learner: opts.Learner, opts: opts}, nil
+	}
+	pol := opts.Policy
+	if pol == nil {
+		var err error
+		pol, err = bandit.NewSuccessiveElimination(opts.Kappa)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if pol.NumArms() != opts.Kappa {
+		return nil, fmt.Errorf("%w: policy has %d arms, kappa=%d", ErrBadThreshold, pol.NumArms(), opts.Kappa)
+	}
+	lip, err := bandit.NewLipschitz(pol, opts.MinThresholdMHz, opts.MaxThresholdMHz)
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicRR{learner: lip, lip: lip, opts: opts}, nil
+}
+
+// Name implements Scheduler.
+func (d *DynamicRR) Name() string { return "DynamicRR" }
+
+// UncertaintyAware implements Scheduler: DynamicRR builds on Heu and
+// observes realized rates at admission.
+func (d *DynamicRR) UncertaintyAware() bool { return true }
+
+// Bandit exposes the fixed-grid threshold learner for regret analysis;
+// nil when a custom Learner (e.g. zooming) is in use.
+func (d *DynamicRR) Bandit() *bandit.Lipschitz { return d.lip }
+
+// Learner exposes the active threshold learner.
+func (d *DynamicRR) Learner() ThresholdLearner { return d.learner }
+
+// Schedule implements Scheduler (Algorithm 3 steps 3-12).
+func (d *DynamicRR) Schedule(eng *Engine, res *core.Result, t int, pending []int) ([]int, error) {
+	arm, cth := d.learner.SelectValue()
+	d.lastArm, d.played = arm, true
+
+	// Step 10-11: increasing expected data rate; admit into R_t while the
+	// average share of the free capacity stays at least C^th.
+	sorted := append([]int(nil), pending...)
+	reqs := eng.Requests()
+	sort.Slice(sorted, func(a, b int) bool {
+		ra, rb := reqs[sorted[a]].ExpectedRate(), reqs[sorted[b]].ExpectedRate()
+		if ra != rb {
+			return ra < rb
+		}
+		return sorted[a] < sorted[b]
+	})
+	nMax := int(eng.FreeCapacity() / cth)
+	if nMax <= 0 {
+		return nil, nil
+	}
+	if nMax < len(sorted) {
+		sorted = sorted[:nMax]
+	}
+
+	// Step 12: Heu with LP-PT (constraint (23) truncates by C(bs_i)/|R_t|).
+	rt := float64(len(sorted))
+	net := eng.Net()
+	shareCap := func(i int) float64 {
+		return net.Capacity(i) / rt / net.CUnit()
+	}
+	waits := func(j int) int { return t - reqs[j].ArrivalSlot }
+	_, err := core.ScheduleBatch(net, reqs, res, eng.Rng(), core.BatchOptions{
+		Active:              sorted,
+		Used:                eng.Used(),
+		WaitSlots:           waits,
+		ShareCapMBs:         shareCap,
+		SlotLengthMS:        eng.SlotLengthMS(),
+		RoundingDenominator: d.opts.RoundingDenominator,
+		Passes:              d.opts.Passes,
+		Distribute:          true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	admitted := make([]int, 0, len(sorted))
+	for _, j := range sorted {
+		if res.Decisions[j].Admitted {
+			admitted = append(admitted, j)
+		}
+	}
+	return admitted, nil
+}
+
+// Feedback implements FeedbackScheduler: the slot reward updates the arm
+// that set this slot's threshold.
+func (d *DynamicRR) Feedback(_ int, slotReward float64) {
+	if !d.played {
+		return
+	}
+	d.learner.Update(d.lastArm, slotReward)
+	d.played = false
+}

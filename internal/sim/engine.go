@@ -1,0 +1,406 @@
+// Package sim implements the time-slotted online simulation of the dynamic
+// reward maximization problem (Section V): requests arrive over a horizon
+// of scheduling slots, wait in a pending queue (preemptive scheduling),
+// occupy their service instances for their stream durations, and depart.
+// The package provides the paper's online learning algorithm DynamicRR
+// (Algorithm 3) and online variants of the OCORP, Greedy, and HeuKKT
+// baselines behind a common Scheduler interface.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mecoffload/internal/core"
+	"mecoffload/internal/mec"
+)
+
+// Errors returned by the engine.
+var (
+	ErrNilScheduler = errors.New("sim: nil scheduler")
+	ErrBadHorizon   = errors.New("sim: horizon must be positive")
+)
+
+// Scheduler decides, once per time slot, which pending requests to admit
+// and where. Implementations mutate res.Decisions for the requests they
+// admit (Admitted, Station, Slot, TaskStations, WaitSlots, LatencyMS, and
+// — for uncertainty-aware schedulers — Evicted) and return the admitted
+// request ids. Uncertainty-aware schedulers realize data rates during
+// admission and keep eng.Used consistent themselves; oblivious schedulers
+// must not touch realized state, and the engine settles it for them.
+type Scheduler interface {
+	// Name identifies the scheduler in results.
+	Name() string
+	// UncertaintyAware reports whether the scheduler observes realized
+	// data rates (and therefore evicts overflow itself).
+	UncertaintyAware() bool
+	// Schedule admits pending requests at slot t.
+	Schedule(eng *Engine, res *core.Result, t int, pending []int) ([]int, error)
+}
+
+// FeedbackScheduler is implemented by learning schedulers that want the
+// realized reward of each slot's admissions (DynamicRR's bandit update).
+type FeedbackScheduler interface {
+	Feedback(t int, slotReward float64)
+}
+
+// running tracks one in-service request together with the exact ledger
+// deltas to undo at departure.
+type running struct {
+	req     int
+	endSlot int
+	// shares maps station -> realized MHz held there.
+	shares map[int]float64
+	// expShares maps station -> expected MHz counted in the oblivious
+	// planning view.
+	expShares map[int]float64
+	// procStation and procMS record the backlog-proxy contribution.
+	procStation int
+	procMS      float64
+}
+
+// Engine drives one simulation run. Create with NewEngine, then Run. An
+// Engine is single-use: Run may be called once.
+type Engine struct {
+	net   *mec.Network
+	reqs  []*mec.Request
+	rng   *rand.Rand
+	slotL float64
+	// Horizon is the number of scheduling slots simulated. Arrivals beyond
+	// the horizon never enter the system.
+	horizon int
+
+	used     []float64 // realized MHz per station, authoritative
+	expected []float64 // expected MHz per station of running requests
+	procMS   []float64 // running pipeline work per station (backlog proxy)
+	active   []running
+	// slotRewards[t] is the realized reward credited at slot t; the regret
+	// experiment compares its prefix sums across policies.
+	slotRewards []float64
+}
+
+// Config parameterizes NewEngine.
+type Config struct {
+	// Horizon is the number of slots to simulate.
+	Horizon int
+	// SlotLengthMS defaults to mec.DefaultSlotLengthMS.
+	SlotLengthMS float64
+}
+
+// NewEngine validates inputs and builds a ready-to-run engine.
+func NewEngine(n *mec.Network, reqs []*mec.Request, rng *rand.Rand, cfg Config) (*Engine, error) {
+	if n == nil {
+		return nil, core.ErrNilNetwork
+	}
+	if len(reqs) == 0 {
+		return nil, core.ErrNoRequests
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadHorizon, cfg.Horizon)
+	}
+	if cfg.SlotLengthMS == 0 {
+		cfg.SlotLengthMS = mec.DefaultSlotLengthMS
+	}
+	// The arrival scan and the Decisions indexing both assume requests
+	// sorted by arrival with IDs equal to slice positions; reject
+	// malformed workloads instead of silently misbehaving.
+	prev := 0
+	for i, r := range reqs {
+		if r.ID != i {
+			return nil, fmt.Errorf("sim: request at index %d has ID %d (must match)", i, r.ID)
+		}
+		if r.ArrivalSlot < prev {
+			return nil, fmt.Errorf("sim: arrivals not sorted at index %d", i)
+		}
+		prev = r.ArrivalSlot
+	}
+	return &Engine{
+		net:      n,
+		reqs:     reqs,
+		rng:      rng,
+		slotL:    cfg.SlotLengthMS,
+		horizon:  cfg.Horizon,
+		used:     make([]float64, n.NumStations()),
+		expected: make([]float64, n.NumStations()),
+		procMS:   make([]float64, n.NumStations()),
+	}, nil
+}
+
+// Net returns the network under simulation.
+func (e *Engine) Net() *mec.Network { return e.net }
+
+// Requests returns the workload (shared slice; do not mutate).
+func (e *Engine) Requests() []*mec.Request { return e.reqs }
+
+// SlotLengthMS returns the scheduling slot length.
+func (e *Engine) SlotLengthMS() float64 { return e.slotL }
+
+// Rng returns the engine's randomness source (shared with schedulers so
+// runs are reproducible from one seed).
+func (e *Engine) Rng() *rand.Rand { return e.rng }
+
+// Used returns the realized per-station occupancy ledger. Only
+// uncertainty-aware schedulers may read or write it.
+func (e *Engine) Used() []float64 { return e.used }
+
+// ExpectedUsed returns a copy of the expected per-station load of running
+// requests — the view an uncertainty-oblivious scheduler plans against.
+func (e *Engine) ExpectedUsed() []float64 {
+	out := make([]float64, len(e.expected))
+	copy(out, e.expected)
+	return out
+}
+
+// RunningProcMS returns a copy of the running pipeline work per station in
+// milliseconds, the backlog proxy the online Greedy baseline throttles on.
+func (e *Engine) RunningProcMS() []float64 {
+	out := make([]float64, len(e.procMS))
+	copy(out, e.procMS)
+	return out
+}
+
+// SlotRewards returns the per-slot realized rewards of the completed run
+// (nil before Run). The regret experiment consumes its prefix sums.
+func (e *Engine) SlotRewards() []float64 {
+	out := make([]float64, len(e.slotRewards))
+	copy(out, e.slotRewards)
+	return out
+}
+
+// FreeCapacity returns the total realized spare MHz across stations.
+func (e *Engine) FreeCapacity() float64 {
+	total := 0.0
+	for i, u := range e.used {
+		total += e.net.Capacity(i) - u
+	}
+	return total
+}
+
+// Run simulates the horizon under the given scheduler and returns the
+// evaluated result. The returned Result uses the same conventions as the
+// offline algorithms; use AuditTimeline (not core.Audit) to verify it,
+// since capacity is shared over time rather than across the whole run.
+func (e *Engine) Run(sched Scheduler) (*core.Result, error) {
+	if sched == nil {
+		return nil, ErrNilScheduler
+	}
+	start := time.Now()
+	res := &core.Result{Algorithm: sched.Name(), Decisions: make([]core.Decision, len(e.reqs))}
+	for j := range res.Decisions {
+		res.Decisions[j] = core.Decision{RequestID: j, Station: -1}
+	}
+
+	var pending []int
+	next := 0 // next arrival index (reqs sorted by ArrivalSlot)
+	e.slotRewards = make([]float64, e.horizon)
+
+	for t := 0; t < e.horizon; t++ {
+		// Departures first: instances destroyed at the start of endSlot.
+		e.release(t)
+
+		// Arrivals.
+		for next < len(e.reqs) && e.reqs[next].ArrivalSlot <= t {
+			if e.reqs[next].ArrivalSlot == t {
+				pending = append(pending, next)
+			}
+			next++
+		}
+
+		// Expire pending requests that can no longer meet their deadline
+		// anywhere, even if scheduled right now (they remain rejected).
+		pending = e.expire(pending, t)
+		if len(pending) == 0 {
+			continue
+		}
+
+		admitted, err := sched.Schedule(e, res, t, pending)
+		if err != nil {
+			return nil, err
+		}
+		slotReward := e.settle(res, t, admitted, sched.UncertaintyAware())
+		e.slotRewards[t] = slotReward
+		if fb, ok := sched.(FeedbackScheduler); ok {
+			fb.Feedback(t, slotReward)
+		}
+
+		// Remove decided requests from the pending queue.
+		keep := pending[:0]
+		for _, j := range pending {
+			if !res.Decisions[j].Admitted {
+				keep = append(keep, j)
+			}
+		}
+		pending = keep
+	}
+
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+// release frees the resources of requests departing at slot t by undoing
+// exactly the deltas recorded at admission.
+func (e *Engine) release(t int) {
+	keep := e.active[:0]
+	for _, ru := range e.active {
+		if ru.endSlot > t {
+			keep = append(keep, ru)
+			continue
+		}
+		for st, mhz := range ru.shares {
+			e.used[st] -= mhz
+			if e.used[st] < 0 {
+				e.used[st] = 0
+			}
+		}
+		for st, mhz := range ru.expShares {
+			e.expected[st] -= mhz
+			if e.expected[st] < 0 {
+				e.expected[st] = 0
+			}
+		}
+		e.procMS[ru.procStation] -= ru.procMS
+		if e.procMS[ru.procStation] < 0 {
+			e.procMS[ru.procStation] = 0
+		}
+	}
+	e.active = keep
+}
+
+// expire drops pending requests whose deadline is unreachable: even if
+// scheduled this slot on the latency-optimal station, D_j would exceed
+// D̂_j. Dropped requests stay rejected in the final result.
+func (e *Engine) expire(pending []int, t int) []int {
+	keep := pending[:0]
+	for _, j := range pending {
+		r := e.reqs[j]
+		wait := t - r.ArrivalSlot
+		ok := false
+		for i := 0; i < e.net.NumStations(); i++ {
+			if r.DelayFeasible(e.net, i, wait, e.slotL) {
+				ok = true
+				break
+			}
+		}
+		if ok {
+			keep = append(keep, j)
+		}
+	}
+	return keep
+}
+
+// settle evaluates this slot's admissions: realizes rates for oblivious
+// schedulers, applies the shared overload semantics (a station whose
+// realized load exceeds capacity fails every request admitted to it this
+// slot), credits rewards, and registers survivors as running streams. It
+// returns the slot's realized reward.
+func (e *Engine) settle(res *core.Result, t int, admitted []int, aware bool) float64 {
+	type member struct {
+		req    int
+		shares map[int]float64
+	}
+	var batch []member
+
+	for _, j := range admitted {
+		d := &res.Decisions[j]
+		if !d.Admitted {
+			continue
+		}
+		res.Admitted++
+		if d.Evicted {
+			continue
+		}
+		r := e.reqs[j]
+		out := r.Realize(e.rng)
+		shares := make(map[int]float64, len(d.TaskStations))
+		totalWork := 0.0
+		for _, task := range r.Tasks {
+			totalWork += task.WorkMS
+		}
+		demand := e.net.RateToMHz(out.Rate)
+		for k, st := range d.TaskStations {
+			frac := 1.0 / float64(len(r.Tasks))
+			if totalWork > 0 {
+				frac = r.Tasks[k].WorkMS / totalWork
+			}
+			shares[st] += demand * frac
+		}
+		if !aware {
+			// Oblivious schedulers did not touch the realized ledger; the
+			// stream physically lands on the stations regardless.
+			for st, mhz := range shares {
+				e.used[st] += mhz
+			}
+		}
+		batch = append(batch, member{req: j, shares: shares})
+	}
+
+	// Overload determination.
+	overloaded := make(map[int]bool)
+	for i := 0; i < e.net.NumStations(); i++ {
+		if e.used[i] > e.net.Capacity(i)+1e-6 {
+			overloaded[i] = true
+		}
+	}
+
+	slotReward := 0.0
+	for _, m := range batch {
+		d := &res.Decisions[m.req]
+		r := e.reqs[m.req]
+		ok := d.LatencyMS <= r.DeadlineMS+1e-9
+		for st := range m.shares {
+			if overloaded[st] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			// The stream is dropped at the end of the slot; free its hold.
+			for st, mhz := range m.shares {
+				e.used[st] -= mhz
+				if e.used[st] < 0 {
+					e.used[st] = 0
+				}
+			}
+			continue
+		}
+		out, _ := r.Realized()
+		d.Served = true
+		d.Reward = out.Reward
+		res.TotalReward += out.Reward
+		res.Served++
+		slotReward += out.Reward
+
+		// Register the running stream with the exact ledger deltas to
+		// undo at departure.
+		ru := running{
+			req:         m.req,
+			endSlot:     t + r.HoldSlots(),
+			shares:      m.shares,
+			expShares:   make(map[int]float64, len(m.shares)),
+			procStation: d.TaskStations[0],
+		}
+		eDemand := e.net.RateToMHz(r.ExpectedRate())
+		totalWork := 0.0
+		for _, task := range r.Tasks {
+			totalWork += task.WorkMS
+		}
+		for k, st := range d.TaskStations {
+			frac := 1.0 / float64(len(r.Tasks))
+			if totalWork > 0 {
+				frac = r.Tasks[k].WorkMS / totalWork
+			}
+			ru.expShares[st] += eDemand * frac
+		}
+		for st, mhz := range ru.expShares {
+			e.expected[st] += mhz
+		}
+		if station, err := e.net.Station(ru.procStation); err == nil {
+			ru.procMS = r.ProcDelayMS(station)
+			e.procMS[ru.procStation] += ru.procMS
+		}
+		e.active = append(e.active, ru)
+	}
+	return slotReward
+}

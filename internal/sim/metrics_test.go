@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"mecoffload/internal/workload"
+)
+
+func TestRecorderTransparent(t *testing.T) {
+	net, reqs := fixture(t, 8, 100, 40, 21)
+	const horizon = 60
+
+	run := func(wrap bool) (float64, *Recorder) {
+		workload.Reset(reqs)
+		var sched Scheduler = &OnlineOCORP{}
+		var rec *Recorder
+		if wrap {
+			rec = NewRecorder(sched)
+			sched = rec
+		}
+		eng, err := NewEngine(net, reqs, rand.New(rand.NewSource(22)), Config{Horizon: horizon})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run(sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalReward, rec
+	}
+
+	plain, _ := run(false)
+	wrapped, rec := run(true)
+	if plain != wrapped {
+		t.Fatalf("recording changed the outcome: %v vs %v", plain, wrapped)
+	}
+	samples := rec.Samples()
+	if len(samples) == 0 {
+		t.Fatal("no samples recorded")
+	}
+	for _, s := range samples {
+		if s.Utilization < 0 || s.Utilization > 1+1e-9 {
+			t.Fatalf("utilization %v out of [0, 1]", s.Utilization)
+		}
+		if s.Admitted > s.Pending {
+			t.Fatalf("slot %d admitted %d of %d pending", s.Slot, s.Admitted, s.Pending)
+		}
+	}
+}
+
+func TestRecorderForwardsFeedback(t *testing.T) {
+	net, reqs := fixture(t, 8, 120, 40, 23)
+	workload.Reset(reqs)
+	inner, err := NewDynamicRR(DynamicRROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(inner)
+	if rec.Name() != "DynamicRR" || !rec.UncertaintyAware() {
+		t.Fatal("recorder must forward identity")
+	}
+	eng, err := NewEngine(net, reqs, rand.New(rand.NewSource(24)), Config{Horizon: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(rec); err != nil {
+		t.Fatal(err)
+	}
+	// Feedback must have reached the bandit: some arm was played.
+	pol := inner.Bandit().Policy()
+	plays := 0
+	for arm := 0; arm < pol.NumArms(); arm++ {
+		plays += pol.Plays(arm)
+	}
+	if plays == 0 {
+		t.Fatal("feedback never reached the wrapped learner")
+	}
+}
+
+func TestRunTraceRoundTrip(t *testing.T) {
+	net, reqs := fixture(t, 6, 60, 30, 25)
+	workload.Reset(reqs)
+	rec := NewRecorder(&OnlineGreedy{})
+	eng, err := NewEngine(net, reqs, rand.New(rand.NewSource(26)), Config{Horizon: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := NewRunTrace(res, rec)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRunTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Algorithm != tr.Algorithm || back.TotalReward != tr.TotalReward ||
+		back.Served != tr.Served || len(back.Decisions) != len(tr.Decisions) {
+		t.Fatalf("round trip lost data: %+v vs %+v", back, tr)
+	}
+	if len(back.Slots) != len(tr.Slots) {
+		t.Fatalf("round trip lost slot samples: %d vs %d", len(back.Slots), len(tr.Slots))
+	}
+	// Served decisions must carry their rewards through the round trip.
+	for i, d := range back.Decisions {
+		if d.Served && d.Reward != tr.Decisions[i].Reward {
+			t.Fatalf("decision %d reward changed", i)
+		}
+	}
+}
+
+func TestReadRunTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadRunTrace(bytes.NewBufferString("{nope")); err == nil {
+		t.Fatal("want error for malformed JSON")
+	}
+}
+
+func TestStationReport(t *testing.T) {
+	net, reqs := fixture(t, 5, 80, 30, 27)
+	workload.Reset(reqs)
+	rec := NewRecorder(&OnlineOCORP{})
+	eng, err := NewEngine(net, reqs, rand.New(rand.NewSource(28)), Config{Horizon: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := rec.StationReport()
+	if len(report) != net.NumStations() {
+		t.Fatalf("report covers %d stations", len(report))
+	}
+	busy := 0
+	for _, su := range report {
+		if su.MeanUtilization < 0 || su.MeanUtilization > su.PeakUtilization+1e-12 {
+			t.Fatalf("station %d: mean %v > peak %v", su.Station, su.MeanUtilization, su.PeakUtilization)
+		}
+		if su.PeakUtilization > 1+1e-9 {
+			t.Fatalf("station %d peak %v above capacity", su.Station, su.PeakUtilization)
+		}
+		if su.PeakUtilization > 0 {
+			busy++
+		}
+	}
+	if res.Served > 0 && busy == 0 {
+		t.Fatal("served requests but no station shows utilization")
+	}
+	// The trace embeds the report.
+	tr := NewRunTrace(res, rec)
+	if len(tr.Stations) != net.NumStations() {
+		t.Fatal("trace lost station report")
+	}
+}

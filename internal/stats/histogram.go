@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrBadHistogram reports invalid histogram construction parameters.
+var ErrBadHistogram = errors.New("stats: invalid histogram parameters")
+
+// Histogram is a fixed-bin histogram over [Min, Max); observations outside
+// the range clamp into the edge bins.
+type Histogram struct {
+	min, max float64
+	counts   []int
+	n        int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over
+// [min, max).
+func NewHistogram(min, max float64, bins int) (*Histogram, error) {
+	if bins <= 0 || max <= min || math.IsNaN(min) || math.IsNaN(max) {
+		return nil, fmt.Errorf("%w: [%v, %v) with %d bins", ErrBadHistogram, min, max, bins)
+	}
+	return &Histogram{min: min, max: max, counts: make([]int, bins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	b := int((x - h.min) / (h.max - h.min) * float64(len(h.counts)))
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(h.counts) {
+		b = len(h.counts) - 1
+	}
+	h.counts[b]++
+	h.n++
+}
+
+// N returns the number of recorded observations.
+func (h *Histogram) N() int { return h.n }
+
+// Counts returns a copy of the per-bin counts.
+func (h *Histogram) Counts() []int {
+	out := make([]int, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// BinRange returns the half-open value range of bin b.
+func (h *Histogram) BinRange(b int) (lo, hi float64) {
+	w := (h.max - h.min) / float64(len(h.counts))
+	return h.min + float64(b)*w, h.min + float64(b+1)*w
+}
+
+// String renders the histogram as ASCII bars, one line per bin.
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	maxCount := 0
+	for _, c := range h.counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	const width = 40
+	for b, c := range h.counts {
+		lo, hi := h.BinRange(b)
+		bar := 0
+		if maxCount > 0 {
+			bar = c * width / maxCount
+		}
+		fmt.Fprintf(&sb, "%8.1f-%8.1f  %6d  %s\n", lo, hi, c, strings.Repeat("#", bar))
+	}
+	return sb.String()
+}

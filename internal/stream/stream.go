@@ -1,0 +1,213 @@
+// Package stream simulates one AR processing pipeline at frame
+// granularity: camera frames arrive at a capture rate (90-120 fps in the
+// paper's trace) and flow through the pipeline stages (render, track,
+// world-model, recognize) as a tandem queueing network. The offloading
+// algorithms work with per-task aggregate delays (mec.Task.WorkMS); this
+// package is the microscopic model those aggregates abstract — it
+// validates that a pipeline placement meets the paper's per-frame 200 ms
+// budget ("the delay that affects the user's experiences ... depends on
+// how quickly each augmentation is added into each video frame", Section
+// III-D) and calibrates effective per-task delays under load.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Errors returned by the simulator.
+var (
+	ErrNoStages  = errors.New("stream: pipeline needs at least one stage")
+	ErrBadParams = errors.New("stream: invalid parameters")
+)
+
+// Stage is one pipeline stage of the frame-level model.
+type Stage struct {
+	// Name identifies the stage.
+	Name string
+	// ServiceMS is the mean per-frame service time.
+	ServiceMS float64
+	// JitterFrac scales symmetric uniform service-time jitter (0 = fixed,
+	// 0.2 = +/-20%).
+	JitterFrac float64
+	// TransitMS is the network delay of moving a frame's data from the
+	// previous stage to this one (0 when co-located on one station).
+	TransitMS float64
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Stages is the pipeline, in execution order.
+	Stages []Stage
+	// FPS is the capture rate in frames per second.
+	FPS float64
+	// Frames is how many frames to simulate.
+	Frames int
+	// BudgetMS marks frames whose end-to-end latency exceeds it as late
+	// (0 disables the budget accounting).
+	BudgetMS float64
+}
+
+func (c *Config) validate() error {
+	if len(c.Stages) == 0 {
+		return ErrNoStages
+	}
+	for _, st := range c.Stages {
+		if st.ServiceMS < 0 || st.JitterFrac < 0 || st.JitterFrac > 1 || st.TransitMS < 0 {
+			return fmt.Errorf("%w: stage %+v", ErrBadParams, st)
+		}
+	}
+	if c.FPS <= 0 || c.Frames <= 0 || c.BudgetMS < 0 {
+		return fmt.Errorf("%w: fps=%v frames=%d budget=%v", ErrBadParams, c.FPS, c.Frames, c.BudgetMS)
+	}
+	return nil
+}
+
+// Stats summarizes a simulated frame stream.
+type Stats struct {
+	// Frames is the number of frames simulated.
+	Frames int
+	// MeanMS, P50MS, P95MS, P99MS, MaxMS summarize per-frame end-to-end
+	// latency.
+	MeanMS, P50MS, P95MS, P99MS, MaxMS float64
+	// LateFrac is the fraction of frames over the budget (0 when no
+	// budget was set).
+	LateFrac float64
+	// ThroughputFPS is the achieved output rate over the simulated span.
+	ThroughputFPS float64
+	// Saturated reports whether some stage cannot keep up with the input
+	// rate (its utilization is >= 1), so queues grow without bound.
+	Saturated bool
+	// StageUtilization is the per-stage busy fraction.
+	StageUtilization []float64
+}
+
+// Simulate runs the tandem-queue pipeline and returns latency statistics.
+// Frames are generated at exact 1/FPS intervals; each stage serves frames
+// FIFO, one at a time.
+func Simulate(cfg Config, rng *rand.Rand) (*Stats, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	interval := 1000 / cfg.FPS // ms between captures
+	k := len(cfg.Stages)
+	freeAt := make([]float64, k)
+	busy := make([]float64, k)
+	latencies := make([]float64, cfg.Frames)
+	late := 0
+	var lastDone float64
+
+	for f := 0; f < cfg.Frames; f++ {
+		tGen := float64(f) * interval
+		t := tGen
+		for s, st := range cfg.Stages {
+			t += st.TransitMS
+			if t < freeAt[s] {
+				t = freeAt[s] // wait for the stage to drain
+			}
+			service := st.ServiceMS
+			if st.JitterFrac > 0 {
+				service *= 1 + st.JitterFrac*(2*rng.Float64()-1)
+			}
+			t += service
+			freeAt[s] = t
+			busy[s] += service
+		}
+		latencies[f] = t - tGen
+		if cfg.BudgetMS > 0 && latencies[f] > cfg.BudgetMS {
+			late++
+		}
+		lastDone = t
+	}
+
+	stats := &Stats{
+		Frames:           cfg.Frames,
+		StageUtilization: make([]float64, k),
+	}
+	span := lastDone
+	if span <= 0 {
+		span = interval * float64(cfg.Frames)
+	}
+	for s := range busy {
+		stats.StageUtilization[s] = busy[s] / span
+		// A stage whose mean service exceeds the frame interval cannot
+		// keep up regardless of jitter.
+		if cfg.Stages[s].ServiceMS >= interval {
+			stats.Saturated = true
+		}
+	}
+	sorted := append([]float64(nil), latencies...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, l := range sorted {
+		sum += l
+	}
+	stats.MeanMS = sum / float64(len(sorted))
+	stats.P50MS = quantile(sorted, 0.50)
+	stats.P95MS = quantile(sorted, 0.95)
+	stats.P99MS = quantile(sorted, 0.99)
+	stats.MaxMS = sorted[len(sorted)-1]
+	if cfg.BudgetMS > 0 {
+		stats.LateFrac = float64(late) / float64(cfg.Frames)
+	}
+	stats.ThroughputFPS = float64(cfg.Frames) / (span / 1000)
+	return stats, nil
+}
+
+// quantile reads the q-quantile from an ascending slice.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// MaxSustainableFPS returns the highest capture rate the pipeline can
+// sustain without unbounded queueing: the reciprocal of its slowest
+// stage's mean service time.
+func MaxSustainableFPS(stages []Stage) float64 {
+	worst := 0.0
+	for _, st := range stages {
+		if st.ServiceMS > worst {
+			worst = st.ServiceMS
+		}
+	}
+	if worst == 0 {
+		return math.Inf(1)
+	}
+	return 1000 / worst
+}
+
+// EffectiveWorkMS measures the effective per-stage delay (service plus
+// queueing) at a given capture rate, the quantity the coarse
+// mec.Task.WorkMS aggregates. It simulates the pipeline and apportions the
+// measured mean latency over stages proportionally to their busy time.
+func EffectiveWorkMS(stages []Stage, fps float64, frames int, rng *rand.Rand) ([]float64, error) {
+	stats, err := Simulate(Config{Stages: stages, FPS: fps, Frames: frames}, rng)
+	if err != nil {
+		return nil, err
+	}
+	totalBusy := 0.0
+	for _, u := range stats.StageUtilization {
+		totalBusy += u
+	}
+	out := make([]float64, len(stages))
+	for s := range stages {
+		share := 1.0 / float64(len(stages))
+		if totalBusy > 0 {
+			share = stats.StageUtilization[s] / totalBusy
+		}
+		out[s] = stats.MeanMS * share
+	}
+	return out, nil
+}

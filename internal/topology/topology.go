@@ -1,0 +1,217 @@
+// Package topology generates synthetic MEC backhaul topologies in the style
+// of the GT-ITM tool referenced by the paper's evaluation (Fig. 3-6 all run
+// on a 20-station GT-ITM topology).
+//
+// GT-ITM's "flat random" model is the Waxman model: vertices are placed
+// uniformly at random on a unit square and each pair (u, v) is connected
+// with probability alpha * exp(-d(u,v) / (beta * L)), where d is Euclidean
+// distance and L the maximum possible distance. GT-ITM's hierarchical
+// "transit-stub" model composes Waxman graphs; both are provided.
+//
+// Generated graphs are post-processed to be connected (a random spanning
+// chain over the Waxman draw) so that every base station can reach every
+// other, matching the paper's assumption that tasks can be distributed to
+// any station over backhaul paths.
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mecoffload/internal/graph"
+)
+
+// Waxman model defaults. alpha controls edge density, beta the relative
+// frequency of long edges. These are the classic GT-ITM defaults.
+const (
+	DefaultAlpha = 0.4
+	DefaultBeta  = 0.4
+)
+
+// ErrBadParams is returned for out-of-range generator parameters.
+var ErrBadParams = errors.New("topology: invalid parameters")
+
+// Node is a generated topology node with its position on the unit square.
+type Node struct {
+	X, Y float64
+}
+
+// Topology is a generated backhaul network: a connected weighted graph plus
+// node coordinates. Edge weights are per-unit transmission delays in
+// milliseconds, proportional to Euclidean length (propagation-dominated
+// links) plus a constant switching overhead.
+type Topology struct {
+	Graph *graph.Graph
+	Nodes []Node
+}
+
+// Config parameterizes topology generation.
+type Config struct {
+	// N is the number of base stations.
+	N int
+	// Alpha and Beta are Waxman parameters; zero values select the
+	// defaults.
+	Alpha, Beta float64
+	// MinDelayMS and MaxDelayMS bound per-link transmission delay of one
+	// unit of data (rho_unit). The delay of a link scales linearly with
+	// its Euclidean length between these bounds. Zero values select
+	// [1, 5] ms, giving multi-hop backhaul paths comfortably inside the
+	// paper's 200 ms budget.
+	MinDelayMS, MaxDelayMS float64
+}
+
+func (c *Config) fill() error {
+	if c.N <= 0 {
+		return fmt.Errorf("%w: N=%d", ErrBadParams, c.N)
+	}
+	if c.Alpha == 0 {
+		c.Alpha = DefaultAlpha
+	}
+	if c.Beta == 0 {
+		c.Beta = DefaultBeta
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 || c.Beta <= 0 || c.Beta > 1 {
+		return fmt.Errorf("%w: alpha=%v beta=%v", ErrBadParams, c.Alpha, c.Beta)
+	}
+	if c.MinDelayMS == 0 && c.MaxDelayMS == 0 {
+		c.MinDelayMS, c.MaxDelayMS = 1, 5
+	}
+	if c.MinDelayMS < 0 || c.MaxDelayMS < c.MinDelayMS {
+		return fmt.Errorf("%w: delay range [%v, %v]", ErrBadParams, c.MinDelayMS, c.MaxDelayMS)
+	}
+	return nil
+}
+
+// Waxman generates a connected Waxman topology with cfg.N nodes using rng.
+func Waxman(cfg Config, rng *rand.Rand) (*Topology, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	nodes := make([]Node, cfg.N)
+	for i := range nodes {
+		nodes[i] = Node{X: rng.Float64(), Y: rng.Float64()}
+	}
+	g := graph.New(cfg.N)
+	maxDist := math.Sqrt2 // diagonal of the unit square
+	for u := 0; u < cfg.N; u++ {
+		for v := u + 1; v < cfg.N; v++ {
+			d := dist(nodes[u], nodes[v])
+			p := cfg.Alpha * math.Exp(-d/(cfg.Beta*maxDist))
+			if rng.Float64() < p {
+				if _, err := g.AddEdge(u, v, linkDelay(cfg, d)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	t := &Topology{Graph: g, Nodes: nodes}
+	t.ensureConnected(cfg, rng)
+	return t, nil
+}
+
+// TransitStub generates a GT-ITM style two-level topology: one Waxman
+// transit core of coreN nodes, each with stubsPerCore Waxman stub domains of
+// stubN nodes attached via a single uplink. The total node count is
+// coreN * (1 + stubsPerCore*stubN).
+func TransitStub(coreN, stubsPerCore, stubN int, cfg Config, rng *rand.Rand) (*Topology, error) {
+	if coreN <= 0 || stubsPerCore < 0 || stubN <= 0 {
+		return nil, fmt.Errorf("%w: coreN=%d stubsPerCore=%d stubN=%d", ErrBadParams, coreN, stubsPerCore, stubN)
+	}
+	total := coreN * (1 + stubsPerCore*stubN)
+	cfgCopy := cfg
+	cfgCopy.N = total
+	if err := cfgCopy.fill(); err != nil {
+		return nil, err
+	}
+
+	nodes := make([]Node, 0, total)
+	g := graph.New(total)
+
+	// Core nodes occupy indices [0, coreN).
+	coreCfg := cfgCopy
+	coreCfg.N = coreN
+	core, err := Waxman(coreCfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	nodes = append(nodes, core.Nodes...)
+	for _, e := range core.Graph.Edges() {
+		if _, err := g.AddEdge(e.U, e.V, e.Weight); err != nil {
+			return nil, err
+		}
+	}
+
+	next := coreN
+	for c := 0; c < coreN; c++ {
+		for s := 0; s < stubsPerCore; s++ {
+			stubCfg := cfgCopy
+			stubCfg.N = stubN
+			stub, err := Waxman(stubCfg, rng)
+			if err != nil {
+				return nil, err
+			}
+			base := next
+			// Shrink stub coordinates around its transit node so plots
+			// look like GT-ITM output.
+			cx, cy := nodes[c].X, nodes[c].Y
+			for _, n := range stub.Nodes {
+				nodes = append(nodes, Node{X: cx + (n.X-0.5)*0.1, Y: cy + (n.Y-0.5)*0.1})
+			}
+			for _, e := range stub.Graph.Edges() {
+				if _, err := g.AddEdge(base+e.U, base+e.V, e.Weight); err != nil {
+					return nil, err
+				}
+			}
+			// Uplink from a random stub node to its transit node.
+			up := base + rng.Intn(stubN)
+			d := dist(nodes[c], nodes[up])
+			if _, err := g.AddEdge(c, up, linkDelay(cfgCopy, d)); err != nil {
+				return nil, err
+			}
+			next += stubN
+		}
+	}
+	t := &Topology{Graph: g, Nodes: nodes}
+	t.ensureConnected(cfgCopy, rng)
+	return t, nil
+}
+
+// ensureConnected adds minimum-length edges between components until the
+// graph is connected. The Waxman draw leaves isolated vertices with small
+// probability; the paper's model requires full backhaul reachability.
+func (t *Topology) ensureConnected(cfg Config, rng *rand.Rand) {
+	for {
+		comps := t.Graph.Components()
+		if len(comps) <= 1 {
+			return
+		}
+		// Join the first component to the nearest node of any other.
+		bestU, bestV, bestD := -1, -1, math.Inf(1)
+		for _, u := range comps[0] {
+			for _, comp := range comps[1:] {
+				for _, v := range comp {
+					if d := dist(t.Nodes[u], t.Nodes[v]); d < bestD {
+						bestU, bestV, bestD = u, v, d
+					}
+				}
+			}
+		}
+		if _, err := t.Graph.AddEdge(bestU, bestV, linkDelay(cfg, bestD)); err != nil {
+			// Cannot happen: endpoints are distinct vertices of the graph.
+			panic(err)
+		}
+		_ = rng
+	}
+}
+
+func dist(a, b Node) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+func linkDelay(cfg Config, d float64) float64 {
+	frac := d / math.Sqrt2
+	return cfg.MinDelayMS + frac*(cfg.MaxDelayMS-cfg.MinDelayMS)
+}

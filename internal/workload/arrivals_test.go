@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func checkArrivalInvariants(t *testing.T, name string, proc ArrivalProcess) {
+	t.Helper()
+	cfg := &quick.Config{MaxCount: 50}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200)
+		horizon := 1 + rng.Intn(150)
+		out, err := proc.Arrivals(n, horizon, rng)
+		if err != nil {
+			return false
+		}
+		if len(out) != n {
+			return false
+		}
+		prev := 0
+		for _, a := range out {
+			if a < prev || a >= horizon {
+				return false
+			}
+			prev = a
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if _, err := proc.Arrivals(5, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatalf("%s: want error for zero horizon", name)
+	}
+}
+
+func TestArrivalProcessInvariants(t *testing.T) {
+	checkArrivalInvariants(t, "uniform", UniformArrivals{})
+	checkArrivalInvariants(t, "poisson", PoissonArrivals{})
+	checkArrivalInvariants(t, "burst", BurstArrivals{Bursts: 4, BurstWidth: 3})
+	checkArrivalInvariants(t, "burst-defaults", BurstArrivals{})
+}
+
+func TestBurstArrivalsClump(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	out, err := BurstArrivals{Bursts: 4, BurstWidth: 2}.Arrivals(100, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All arrivals must land within the 4 waves' windows: [0,2), [25,27),
+	// [50,52), [75,77).
+	occupied := map[int]int{}
+	for _, a := range out {
+		occupied[a]++
+	}
+	if len(occupied) > 8 {
+		t.Fatalf("burst arrivals spread over %d distinct slots, want <= 8", len(occupied))
+	}
+}
+
+func TestPoissonArrivalsSpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	out, err := PoissonArrivals{}.Arrivals(300, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[int]bool{}
+	for _, a := range out {
+		distinct[a] = true
+	}
+	if len(distinct) < 50 {
+		t.Fatalf("poisson arrivals hit only %d distinct slots", len(distinct))
+	}
+}
+
+func TestApplyArrivals(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	reqs, err := Generate(Config{NumRequests: 30, NumStations: 4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reqs {
+		r.Realize(rng)
+	}
+	if err := ApplyArrivals(reqs, BurstArrivals{Bursts: 3, BurstWidth: 2}, 60, rng); err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for i, r := range reqs {
+		if r.ID != i {
+			t.Fatalf("IDs not renumbered: %d at %d", r.ID, i)
+		}
+		if r.ArrivalSlot < prev {
+			t.Fatal("arrivals not sorted")
+		}
+		prev = r.ArrivalSlot
+		if _, ok := r.Realized(); ok {
+			t.Fatal("realization state must be cleared")
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mecoffload/internal/dist"
+)
+
+// Braud-style trace constants: the real AR dataset the paper adopts
+// captures JPEG frames of 64Kb uploaded at 90-120 frames per second
+// (Section VI-A). One frame is 64 Kb = 8 KB = 0.008 MB.
+const (
+	TraceFrameKb  = 64.0
+	TraceMinFPS   = 90
+	TraceMaxFPS   = 120
+	kbPerMB       = 8000.0
+	traceFrameDur = 1.0 // seconds per trace sample
+)
+
+// FrameTrace is a synthetic substitute for the paper's real AR capture
+// trace: a per-second sequence of frame counts from which empirical data
+// rates are derived. The paper scales the raw camera stream by the
+// pipeline's intermediate matrices to rates of 30-50 MB/s; ScaleToRate
+// performs the same normalization.
+type FrameTrace struct {
+	// FPS holds one frames-per-second sample per elapsed second.
+	FPS []int
+	// FrameKb is the size of each captured frame in kilobits.
+	FrameKb float64
+}
+
+// GenerateTrace draws a trace of the given duration (seconds) with
+// per-second fps samples uniform in [TraceMinFPS, TraceMaxFPS], modulated
+// by a slow random walk that models scene-dependent capture-rate drift.
+func GenerateTrace(seconds int, rng *rand.Rand) (*FrameTrace, error) {
+	if seconds <= 0 {
+		return nil, fmt.Errorf("%w: duration %d s", ErrBadConfig, seconds)
+	}
+	fps := make([]int, seconds)
+	level := TraceMinFPS + rng.Intn(TraceMaxFPS-TraceMinFPS+1)
+	for i := range fps {
+		// Random walk with reflection at the bounds.
+		level += rng.Intn(11) - 5
+		if level < TraceMinFPS {
+			level = 2*TraceMinFPS - level
+		}
+		if level > TraceMaxFPS {
+			level = 2*TraceMaxFPS - level
+		}
+		fps[i] = level
+	}
+	return &FrameTrace{FPS: fps, FrameKb: TraceFrameKb}, nil
+}
+
+// RawRatesMBs returns the per-second raw camera data rates in MB/s
+// (fps * frame size). These are well below the pipeline rates because the
+// intermediate matrices of the AR pipeline amplify the stream.
+func (t *FrameTrace) RawRatesMBs() []float64 {
+	out := make([]float64, len(t.FPS))
+	for i, f := range t.FPS {
+		out[i] = float64(f) * t.FrameKb / kbPerMB
+	}
+	return out
+}
+
+// ScaleToRate linearly maps the trace's raw rates onto [minRate, maxRate]
+// MB/s, reproducing the paper's normalization of the Braud trace to
+// pipeline rates of 30-50 MB/s. A constant trace maps to minRate.
+func (t *FrameTrace) ScaleToRate(minRate, maxRate float64) []float64 {
+	raw := t.RawRatesMBs()
+	lo, hi := raw[0], raw[0]
+	for _, r := range raw {
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	out := make([]float64, len(raw))
+	for i, r := range raw {
+		frac := 0.0
+		if hi > lo {
+			frac = (r - lo) / (hi - lo)
+		}
+		out[i] = minRate + frac*(maxRate-minRate)
+	}
+	return out
+}
+
+// EmpiricalDistribution converts the trace into a request-ready (rate,
+// reward) distribution: the scaled rates are bucketed into support
+// distinct values with empirical frequencies, and each rate is priced with
+// a unit reward drawn uniformly from [minUnitReward, maxUnitReward].
+func (t *FrameTrace) EmpiricalDistribution(support int, minRate, maxRate, minUnitReward, maxUnitReward float64, rng *rand.Rand) (*dist.RateReward, error) {
+	if support <= 0 {
+		return nil, fmt.Errorf("%w: support %d", ErrBadConfig, support)
+	}
+	rates := t.ScaleToRate(minRate, maxRate)
+	counts := make([]int, support)
+	for _, r := range rates {
+		b := 0
+		if maxRate > minRate {
+			b = int((r - minRate) / (maxRate - minRate) * float64(support))
+		}
+		if b >= support {
+			b = support - 1
+		}
+		counts[b]++
+	}
+	outcomes := make([]dist.Outcome, 0, support)
+	for b, c := range counts {
+		if c == 0 {
+			continue
+		}
+		var rate float64
+		if support == 1 {
+			rate = minRate
+		} else {
+			rate = minRate + (float64(b)+0.5)*(maxRate-minRate)/float64(support)
+		}
+		unit := minUnitReward + rng.Float64()*(maxUnitReward-minUnitReward)
+		outcomes = append(outcomes, dist.Outcome{
+			Rate:   rate,
+			Prob:   float64(c) / float64(len(rates)),
+			Reward: unit * rate,
+		})
+	}
+	return dist.NewRateReward(outcomes)
+}
