@@ -1,0 +1,47 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# commands; `make verify` is the tier-1 gate a change must keep green.
+
+GO ?= go
+
+.PHONY: verify build test race bench bench-smoke fuzz fmt vet clean
+
+## verify: tier-1 gate — build everything, vet, gofmt check, full tests.
+verify: build vet fmt-check test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## race: concurrency-sensitive packages under the race detector
+## (shortened experiment profile, same as the CI race job).
+race:
+	$(GO) test -race -short ./internal/experiment/... ./internal/sim/...
+
+## bench: the hot-path benchmarks, timed (LP warm-start contrast included).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkAppro|BenchmarkDynamicRRRun|BenchmarkLPColdVsWarm|BenchmarkLPPTSlot' -benchmem .
+
+## bench-smoke: compile-and-run-once pass over the gating benchmarks,
+## mirroring the CI bench-smoke job.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkAppro|BenchmarkDynamicRRRun|BenchmarkLPColdVsWarm' -benchtime 1x -benchmem .
+
+## fuzz: seed-corpus regression then a short fuzzing budget.
+fuzz:
+	$(GO) test -run 'FuzzParse' ./internal/lp/
+	$(GO) test -fuzz 'FuzzParse' -fuzztime 30s ./internal/lp/
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	rm -f mecoffload.test bench-smoke.txt

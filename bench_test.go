@@ -8,12 +8,15 @@
 package mecoffload
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
 
 	"mecoffload/internal/core"
 	"mecoffload/internal/experiment"
+	"mecoffload/internal/lp"
 	"mecoffload/internal/mec"
 	"mecoffload/internal/sim"
 	"mecoffload/internal/workload"
@@ -243,6 +246,191 @@ func BenchmarkDynamicRRRun(b *testing.B) {
 		}
 		if _, err := eng.Run(sched); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// buildBenchLPPT constructs the per-slot LP-PT relaxation (constraints
+// (9)-(12) truncated by (23)) over the given active set and residual
+// occupancy, mirroring the internal model builder: variables y[j,i,l] with
+// reward-mass objectives, one assign row per request, one capacity row per
+// (station, slot index).
+func buildBenchLPPT(net *mec.Network, reqs []*mec.Request, active []int, used []float64) *lp.Problem {
+	slotMHz := net.SlotMHz()
+	rt := float64(len(active))
+	prob := lp.NewProblem(lp.Maximize)
+	type svar struct {
+		v    lp.Var
+		i, l int
+	}
+	byReq := make(map[int][]svar, len(active))
+	for _, j := range active {
+		r := reqs[j]
+		for i := 0; i < net.NumStations(); i++ {
+			if !r.DelayFeasible(net, i, 0, mec.DefaultSlotLengthMS) {
+				continue
+			}
+			capI := net.Capacity(i) - used[i]
+			L := int(capI / slotMHz)
+			for l := 1; l <= L; l++ {
+				er := r.Dist.RewardMassBelow((capI - float64(l)*slotMHz) / net.CUnit())
+				if er <= 0 {
+					continue
+				}
+				v := prob.AddVariable(fmt.Sprintf("y[%d,%d,%d]", j, i, l), er)
+				byReq[j] = append(byReq[j], svar{v: v, i: i, l: l})
+			}
+		}
+	}
+	for _, j := range active {
+		vs := byReq[j]
+		if len(vs) == 0 {
+			continue
+		}
+		terms := make([]lp.Term, len(vs))
+		for k, sv := range vs {
+			terms[k] = lp.Term{Var: sv.v, Coef: 1}
+		}
+		if _, err := prob.AddConstraint(fmt.Sprintf("assign[%d]", j), lp.LE, 1, terms...); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < net.NumStations(); i++ {
+		capI := net.Capacity(i) - used[i]
+		L := int(capI / slotMHz)
+		share := net.Capacity(i) / rt / net.CUnit() // LP-PT's C(bs_i)/|R_t|
+		for l := 1; l <= L; l++ {
+			slotCap := float64(l) * slotMHz / net.CUnit()
+			var terms []lp.Term
+			for _, j := range active {
+				for _, sv := range byReq[j] {
+					if sv.i != i || sv.l > l {
+						continue
+					}
+					coef := reqs[j].Dist.ExpectedTruncatedRate(math.Min(slotCap, share))
+					if coef > 0 {
+						terms = append(terms, lp.Term{Var: sv.v, Coef: coef})
+					}
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			if _, err := prob.AddConstraint(fmt.Sprintf("cap[%d,%d]", i, l), lp.LE, 2*slotCap, terms...); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return prob
+}
+
+// benchSlotSequence pre-builds a drifting sequence of per-slot LP-PT
+// instances at the default scenario: the active set churns and occupancy
+// accumulates from slot to slot, exactly the warm-start workload of
+// sim.DynamicRR.
+func benchSlotSequence(b *testing.B, stations, requests, slots int) []*lp.Problem {
+	b.Helper()
+	net, reqs := benchFixture(b, stations, requests)
+	rng := rand.New(rand.NewSource(41))
+	used := make([]float64, net.NumStations())
+	pending := make([]bool, len(reqs))
+	for j := range pending {
+		pending[j] = rng.Float64() < 0.5
+	}
+	probs := make([]*lp.Problem, slots)
+	for s := range probs {
+		// Slot-to-slot churn as the online engine produces it: a fraction
+		// of the pending pool is admitted or expires, new arrivals join.
+		for j := range pending {
+			if pending[j] {
+				if rng.Float64() < 0.15 {
+					pending[j] = false
+				}
+			} else if rng.Float64() < 0.15 {
+				pending[j] = true
+			}
+		}
+		var active []int
+		for j, p := range pending {
+			if p {
+				active = append(active, j)
+			}
+		}
+		if len(active) == 0 {
+			active = []int{rng.Intn(len(reqs))}
+		}
+		probs[s] = buildBenchLPPT(net, reqs, active, used)
+		for i := range used {
+			used[i] += rng.Float64() * 0.05 * (net.Capacity(i) - used[i])
+		}
+	}
+	return probs
+}
+
+// BenchmarkLPColdVsWarm contrasts solving each slot of an LP-PT sequence
+// from scratch against warm-starting from the previous slot's optimal
+// basis (the production configuration). Slot 0 has no predecessor and is
+// solved identically (cold) by both configurations, so it is primed in
+// setup and both arms time the same slots 1..n — the steady-state cost a
+// DynamicRR run pays per slot. The warm path must reach the same
+// objectives — to 1e-9, checked every iteration — in a fraction of the
+// time.
+func BenchmarkLPColdVsWarm(b *testing.B) {
+	const slots = 8
+	probs := benchSlotSequence(b, 20, 200, slots)
+	coldObj := make([]float64, slots)
+	var basis0 *lp.Basis
+	for s, p := range probs {
+		sol, err := p.Solve()
+		if err != nil || sol.Status != lp.StatusOptimal {
+			b.Fatalf("slot %d: %v status %v", s, err, sol.Status)
+		}
+		coldObj[s] = sol.Objective
+		if s == 0 {
+			basis0 = sol.Basis
+		}
+	}
+	solveSeq := func(b *testing.B, warmStart bool) {
+		b.Helper()
+		pivots := 0
+		for i := 0; i < b.N; i++ {
+			warm := basis0
+			for s := 1; s < slots; s++ {
+				var opts lp.SolveOptions
+				if warmStart {
+					opts.WarmStart = warm
+				}
+				sol, err := probs[s].SolveWithOptions(opts)
+				if err != nil || sol.Status != lp.StatusOptimal {
+					b.Fatalf("slot %d: %v status %v", s, err, sol.Status)
+				}
+				if d := math.Abs(sol.Objective - coldObj[s]); d > 1e-9*(1+math.Abs(coldObj[s])) {
+					b.Fatalf("slot %d: objective drift %g", s, d)
+				}
+				warm = sol.Basis
+				pivots += sol.Iterations
+			}
+		}
+		b.ReportMetric(float64(pivots)/float64(b.N*(slots-1)), "pivots/solve")
+	}
+	b.Run("cold", func(b *testing.B) { solveSeq(b, false) })
+	b.Run("warm", func(b *testing.B) { solveSeq(b, true) })
+}
+
+// BenchmarkLPPTSlot measures one warmed per-slot LP-PT solve in isolation:
+// the steady-state marginal cost of a DynamicRR slot's LP once the basis
+// from the previous slot is in hand.
+func BenchmarkLPPTSlot(b *testing.B) {
+	probs := benchSlotSequence(b, 20, 200, 2)
+	seed, err := probs[0].Solve()
+	if err != nil || seed.Status != lp.StatusOptimal {
+		b.Fatalf("seed solve: %v status %v", err, seed.Status)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := probs[1].SolveWithOptions(lp.SolveOptions{WarmStart: seed.Basis})
+		if err != nil || sol.Status != lp.StatusOptimal {
+			b.Fatalf("%v status %v", err, sol.Status)
 		}
 	}
 }

@@ -30,6 +30,12 @@ type ApproOptions struct {
 	// union fills the capacity the single analyzed pass leaves idle by
 	// design (it admits each request with probability <= y/4).
 	Passes int
+	// Warm, when non-nil, seeds each rounding pass's LP from the optimal
+	// basis of the corresponding pass of a previous structurally similar
+	// run (e.g. an earlier repetition of the same experiment cell) and
+	// stores this run's bases back. Warm starting never changes the LP
+	// optimum — only the simplex iteration count.
+	Warm *WarmCache
 }
 
 func (o *ApproOptions) fill() {
@@ -120,10 +126,11 @@ func runRounding(n *mec.Network, reqs []*mec.Request, rng *rand.Rand, opts Appro
 		if err != nil {
 			return nil, err
 		}
-		y, lpOpt, err := model.solve()
+		y, lpOpt, basis, err := model.solveWarm(opts.Warm.get(pass))
 		if err != nil {
 			return nil, err
 		}
+		opts.Warm.put(pass, basis)
 		if pass == 0 {
 			res.ExpectedLPBound = lpOpt
 		}

@@ -35,6 +35,12 @@ type BatchOptions struct {
 	// Distribute enables Heu's task-distribution hooks; without it the
 	// batch runs Appro's consolidated admission.
 	Distribute bool
+	// Warm, when non-nil, seeds each rounding pass's LP-PT from the
+	// optimal basis of the corresponding pass of the previous slot's
+	// batch (consecutive slots differ only by arrivals, departures, and
+	// residual capacity, so the old basis is near-optimal) and stores
+	// this slot's bases back.
+	Warm *WarmCache
 }
 
 // ScheduleBatch admits requests from opts.Active into the network using
@@ -97,10 +103,11 @@ func ScheduleBatch(n *mec.Network, reqs []*mec.Request, res *Result, rng *rand.R
 		if err != nil {
 			return totalAdmitted, err
 		}
-		y, _, err := model.solve()
+		y, _, basis, err := model.solveWarm(opts.Warm.get(pass))
 		if err != nil {
 			return totalAdmitted, err
 		}
+		opts.Warm.put(pass, basis)
 		if len(y) == 0 {
 			break
 		}

@@ -17,6 +17,9 @@ type HeuOptions struct {
 	// Passes mirrors ApproOptions: 1 = single literal pass, 0 = iterate
 	// until no progress.
 	Passes int
+	// Warm mirrors ApproOptions.Warm: per-pass LP warm-start bases
+	// carried across structurally similar runs.
+	Warm *WarmCache
 }
 
 // Heu is Algorithm 2: the efficient heuristic for the reward maximization
@@ -32,6 +35,7 @@ func Heu(n *mec.Network, reqs []*mec.Request, rng *rand.Rand, opts HeuOptions) (
 		SlotLengthMS:        opts.SlotLengthMS,
 		RoundingDenominator: opts.RoundingDenominator,
 		Passes:              opts.Passes,
+		Warm:                opts.Warm,
 	}
 	a.fill()
 	mk := func(res *Result, used []float64) admissionHooks {

@@ -180,19 +180,28 @@ func buildLP(n *mec.Network, reqs []*mec.Request, opts lpOptions) (*lpModel, err
 // solve runs the simplex and returns the fractional y values aligned with
 // m.vars, plus the LP optimum.
 func (m *lpModel) solve() ([]float64, float64, error) {
+	y, opt, _, err := m.solveWarm(nil)
+	return y, opt, err
+}
+
+// solveWarm is solve seeded from a previous optimal basis (nil = cold).
+// It additionally returns this solve's optimal basis so the caller can
+// seed the next structurally similar LP: the next rounding pass, the next
+// time slot's LP-PT, or the next repetition of the same experiment cell.
+func (m *lpModel) solveWarm(warm *lp.Basis) ([]float64, float64, *lp.Basis, error) {
 	if m.prob.NumVars() == 0 {
-		return nil, 0, nil
+		return nil, 0, nil, nil
 	}
-	sol, err := m.prob.Solve()
+	sol, err := m.prob.SolveWithOptions(lp.SolveOptions{WarmStart: warm})
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	if sol.Status != lp.StatusOptimal {
-		return nil, 0, fmt.Errorf("%w: %v", ErrLPFailed, sol.Status)
+		return nil, 0, nil, fmt.Errorf("%w: %v", ErrLPFailed, sol.Status)
 	}
 	y := make([]float64, len(m.vars))
 	for idx := range m.vars {
 		y[idx] = sol.Value(m.vars[idx].v)
 	}
-	return y, sol.Objective, nil
+	return y, sol.Objective, sol.Basis, nil
 }

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"sync"
+
+	"mecoffload/internal/lp"
+)
+
+// WarmCache carries optimal LP bases across structurally similar solves:
+// consecutive time slots of the online LP-PT, repetitions of the same
+// experiment grid cell, or successive rounding passes of Appro/Heu. One
+// basis is kept per rounding-pass index, because pass k of one run is
+// structurally closest to pass k of the next (same slot grid, similar
+// residual shape). A nil *WarmCache is valid and disables warm starting;
+// a non-nil cache is safe for concurrent use (the experiment sweep runs
+// repetitions of one cell on several workers).
+type WarmCache struct {
+	mu     sync.Mutex
+	byPass []*lp.Basis
+}
+
+// NewWarmCache returns an empty cache.
+func NewWarmCache() *WarmCache { return &WarmCache{} }
+
+// get returns the stored basis for a rounding pass (nil when absent).
+func (c *WarmCache) get(pass int) *lp.Basis {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if pass < 0 || pass >= len(c.byPass) {
+		return nil
+	}
+	return c.byPass[pass]
+}
+
+// put stores the optimal basis of a rounding pass, replacing any previous
+// one (latest wins: the most recent solve is structurally closest to the
+// next).
+func (c *WarmCache) put(pass int, b *lp.Basis) {
+	if c == nil || b == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.byPass) <= pass {
+		c.byPass = append(c.byPass, nil)
+	}
+	c.byPass[pass] = b
+}

@@ -29,11 +29,11 @@ func AblationRounding(opts Options) (*Table, error) {
 			xi := indexOf(xs, x)
 			return genInstance(opts.Stations, offlineWorkload(opts.Requests), instSeed(opts.Seed, 21, xi, rep))
 		},
-		func(inst *instance, algo string, x float64, rep int) (*core.Result, error) {
+		func(inst *instance, algo string, x float64, rep int, warm *core.WarmCache) (*core.Result, error) {
 			xi := indexOf(xs, x)
 			workload.Reset(inst.reqs)
 			rng := rand.New(rand.NewSource(runSeed(opts.Seed, 21, xi, rep, 0)))
-			res, err := core.Appro(inst.net, inst.reqs, rng, core.ApproOptions{RoundingDenominator: x})
+			res, err := core.Appro(inst.net, inst.reqs, rng, core.ApproOptions{RoundingDenominator: x, Warm: warm})
 			if err != nil {
 				return nil, err
 			}
@@ -66,7 +66,7 @@ func AblationKappa(opts Options) (*Table, error) {
 			return genInstance(opts.Stations, onlineWorkload(regretRequests, opts.Horizon),
 				instSeed(opts.Seed, 22, xi, rep))
 		},
-		func(inst *instance, algo string, x float64, rep int) (*core.Result, error) {
+		func(inst *instance, algo string, x float64, rep int, _ *core.WarmCache) (*core.Result, error) {
 			xi := indexOf(xs, x)
 			return runDynamicVariant(inst, sim.DynamicRROptions{Kappa: int(x)},
 				runSeed(opts.Seed, 22, xi, rep, 0), opts)
@@ -101,7 +101,7 @@ func AblationPolicy(opts Options) (*Table, error) {
 			return genInstance(opts.Stations, onlineWorkload(int(x), opts.Horizon),
 				instSeed(opts.Seed, 23, 0, rep))
 		},
-		func(inst *instance, algo string, x float64, rep int) (*core.Result, error) {
+		func(inst *instance, algo string, x float64, rep int, _ *core.WarmCache) (*core.Result, error) {
 			seed := runSeed(opts.Seed, 23, 0, rep, algoIndex(tbl, algo))
 			pol, err := newPolicy(algo, seed)
 			if err != nil {
@@ -180,9 +180,9 @@ func AblationRewardModel(opts Options) (*Table, error) {
 			cfg.IndependentRewards = x == 1
 			return genInstance(opts.Stations, cfg, instSeed(opts.Seed, 26, xi, rep))
 		},
-		func(inst *instance, algo string, x float64, rep int) (*core.Result, error) {
+		func(inst *instance, algo string, x float64, rep int, warm *core.WarmCache) (*core.Result, error) {
 			xi := indexOf(xs, x)
-			return runOffline(inst, algo, runSeed(opts.Seed, 26, xi, rep, algoIndex(tbl, algo)), !opts.SkipAudit)
+			return runOffline(inst, algo, runSeed(opts.Seed, 26, xi, rep, algoIndex(tbl, algo)), !opts.SkipAudit, warm)
 		})
 	return tbl, err
 }
@@ -213,7 +213,7 @@ func AblationDiscretization(opts Options) (*Table, error) {
 			return genInstance(opts.Stations, onlineWorkload(int(x), opts.Horizon),
 				instSeed(opts.Seed, 25, 0, rep))
 		},
-		func(inst *instance, algo string, x float64, rep int) (*core.Result, error) {
+		func(inst *instance, algo string, x float64, rep int, _ *core.WarmCache) (*core.Result, error) {
 			seed := runSeed(opts.Seed, 25, 0, rep, algoIndex(tbl, algo))
 			var dopts sim.DynamicRROptions
 			switch algo {
@@ -276,9 +276,9 @@ func AblationSlotSize(opts Options) (*Table, error) {
 			}
 			return &instance{net: net, reqs: reqs}, nil
 		},
-		func(inst *instance, algo string, x float64, rep int) (*core.Result, error) {
+		func(inst *instance, algo string, x float64, rep int, warm *core.WarmCache) (*core.Result, error) {
 			xi := indexOf(xs, x)
-			return runOffline(inst, algo, runSeed(opts.Seed, 24, xi, rep, algoIndex(tbl, algo)), !opts.SkipAudit)
+			return runOffline(inst, algo, runSeed(opts.Seed, 24, xi, rep, algoIndex(tbl, algo)), !opts.SkipAudit, warm)
 		})
 	return tbl, err
 }

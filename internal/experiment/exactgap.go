@@ -31,13 +31,13 @@ func ExactGap(opts Options) (*Table, error) {
 			xi := indexOf(xs, x)
 			return genInstance(stations, offlineWorkload(int(x)), instSeed(opts.Seed, 11, xi, rep))
 		},
-		func(inst *instance, algo string, x float64, rep int) (*core.Result, error) {
+		func(inst *instance, algo string, x float64, rep int, warm *core.WarmCache) (*core.Result, error) {
 			xi := indexOf(xs, x)
 			seed := runSeed(opts.Seed, 11, xi, rep, algoIndex(tbl, algo))
 			if algo == AlgoHindsight {
 				return hindsightResult(inst, seed)
 			}
-			return runOffline(inst, algo, seed, !opts.SkipAudit)
+			return runOffline(inst, algo, seed, !opts.SkipAudit, warm)
 		})
 	return tbl, err
 }

@@ -152,8 +152,11 @@ func genInstance(stations int, wcfg workload.Config, seed int64) (*instance, err
 }
 
 // runOffline executes one offline algorithm on a fresh realization of the
-// instance's workload.
-func runOffline(inst *instance, algo string, seed int64, audit bool) (*core.Result, error) {
+// instance's workload. warm (may be nil) carries LP warm-start bases
+// between repetitions of the same experiment cell: the repetitions differ
+// only in the random draw, so the previous repetition's optimal basis is a
+// near-optimal starting point for the next.
+func runOffline(inst *instance, algo string, seed int64, audit bool, warm *core.WarmCache) (*core.Result, error) {
 	workload.Reset(inst.reqs)
 	rng := rand.New(rand.NewSource(seed))
 	var (
@@ -162,9 +165,9 @@ func runOffline(inst *instance, algo string, seed int64, audit bool) (*core.Resu
 	)
 	switch algo {
 	case AlgoAppro:
-		res, err = core.Appro(inst.net, inst.reqs, rng, core.ApproOptions{})
+		res, err = core.Appro(inst.net, inst.reqs, rng, core.ApproOptions{Warm: warm})
 	case AlgoHeu:
-		res, err = core.Heu(inst.net, inst.reqs, rng, core.HeuOptions{})
+		res, err = core.Heu(inst.net, inst.reqs, rng, core.HeuOptions{Warm: warm})
 	case AlgoExact:
 		res, err = core.Exact(inst.net, inst.reqs, rng, core.ExactOptions{})
 	case AlgoOCORP:
@@ -233,22 +236,35 @@ type job struct {
 	rep  int
 }
 
+// cellKey identifies one (x, algorithm) grid cell of a sweep.
+type cellKey struct {
+	row  int
+	algo string
+}
+
 // sweep runs a generic experiment grid in parallel and aggregates cells.
 //   - xs: the x-axis values;
 //   - makeInstance(x, rep) draws the instance;
-//   - run(inst, algo, rep) executes one algorithm.
+//   - run(inst, algo, rep, warm) executes one algorithm; warm is the
+//     cell's shared LP warm-start cache (repetitions of one cell solve
+//     structurally identical LPs, so their bases transfer).
 func sweep(opts Options, tbl *Table, xs []float64,
 	makeInstance func(x float64, rep int) (*instance, error),
-	run func(inst *instance, algo string, x float64, rep int) (*core.Result, error)) error {
+	run func(inst *instance, algo string, x float64, rep int, warm *core.WarmCache) (*core.Result, error)) error {
 
 	tbl.Rows = make([]Row, len(xs))
 	for i, x := range xs {
 		tbl.Rows[i] = Row{X: x}
 	}
 
+	// One warm cache per grid cell, built before the workers start so the
+	// map itself is read-only under concurrency (the caches lock
+	// internally).
+	warms := make(map[cellKey]*core.WarmCache, len(xs)*len(tbl.Algorithms))
 	var jobs []job
 	for i := range xs {
 		for _, algo := range tbl.Algorithms {
+			warms[cellKey{row: i, algo: algo}] = core.NewWarmCache()
 			for rep := 0; rep < opts.Repetitions; rep++ {
 				jobs = append(jobs, job{row: i, algo: algo, rep: rep})
 			}
@@ -273,7 +289,8 @@ func sweep(opts Options, tbl *Table, xs []float64,
 					outCh <- outcome{job: jb, err: err}
 					continue
 				}
-				res, err := run(inst, jb.algo, xs[jb.row], jb.rep)
+				warm := warms[cellKey{row: jb.row, algo: jb.algo}]
+				res, err := run(inst, jb.algo, xs[jb.row], jb.rep, warm)
 				outCh <- outcome{job: jb, res: res, err: err}
 			}
 		}()

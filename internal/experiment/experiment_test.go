@@ -141,7 +141,7 @@ func TestUnknownAlgorithm(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := runOffline(inst, "Nope", 1, false); err == nil {
+	if _, err := runOffline(inst, "Nope", 1, false, nil); err == nil {
 		t.Error("want error for unknown offline algorithm")
 	}
 	if _, err := runOnline(inst, "Nope", 1, 10, false); err == nil {

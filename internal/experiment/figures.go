@@ -65,9 +65,9 @@ func Fig3(opts Options) (*Table, error) {
 			xi := indexOf(xs, x)
 			return genInstance(opts.Stations, offlineWorkload(int(x)), instSeed(opts.Seed, 3, xi, rep))
 		},
-		func(inst *instance, algo string, x float64, rep int) (*core.Result, error) {
+		func(inst *instance, algo string, x float64, rep int, warm *core.WarmCache) (*core.Result, error) {
 			xi := indexOf(xs, x)
-			return runOffline(inst, algo, runSeed(opts.Seed, 3, xi, rep, algoIndex(tbl, algo)), !opts.SkipAudit)
+			return runOffline(inst, algo, runSeed(opts.Seed, 3, xi, rep, algoIndex(tbl, algo)), !opts.SkipAudit, warm)
 		})
 	return tbl, err
 }
@@ -89,7 +89,9 @@ func Fig4(opts Options) (*Table, error) {
 			xi := indexOf(xs, x)
 			return genInstance(opts.Stations, onlineWorkload(int(x), opts.Horizon), instSeed(opts.Seed, 4, xi, rep))
 		},
-		func(inst *instance, algo string, x float64, rep int) (*core.Result, error) {
+		func(inst *instance, algo string, x float64, rep int, _ *core.WarmCache) (*core.Result, error) {
+			// Online runs warm-start slot-to-slot inside DynamicRR instead
+			// of across repetitions.
 			xi := indexOf(xs, x)
 			return runOnline(inst, algo, runSeed(opts.Seed, 4, xi, rep, algoIndex(tbl, algo)),
 				opts.Horizon+20, !opts.SkipAudit)
@@ -116,7 +118,7 @@ func Fig5(opts Options) (*Table, error) {
 			xi := indexOf(xs, x)
 			return genInstance(int(x), offlineWorkload(opts.Requests), instSeed(opts.Seed, 5, xi, rep))
 		},
-		func(inst *instance, algo string, x float64, rep int) (*core.Result, error) {
+		func(inst *instance, algo string, x float64, rep int, warm *core.WarmCache) (*core.Result, error) {
 			xi := indexOf(xs, x)
 			seed := runSeed(opts.Seed, 5, xi, rep, algoIndex(tbl, algo))
 			if algo == AlgoDynamicRR {
@@ -125,7 +127,7 @@ func Fig5(opts Options) (*Table, error) {
 				spread := spreadArrivals(inst, opts.Horizon, seed)
 				return runOnline(spread, algo, seed, opts.Horizon+20, !opts.SkipAudit)
 			}
-			return runOffline(inst, algo, seed, !opts.SkipAudit)
+			return runOffline(inst, algo, seed, !opts.SkipAudit, warm)
 		})
 	return tbl, err
 }
@@ -150,7 +152,7 @@ func Fig6(opts Options) (*Table, error) {
 			cfg.MaxRate = x
 			return genInstance(opts.Stations, cfg, instSeed(opts.Seed, 6, xi, rep))
 		},
-		func(inst *instance, algo string, x float64, rep int) (*core.Result, error) {
+		func(inst *instance, algo string, x float64, rep int, _ *core.WarmCache) (*core.Result, error) {
 			xi := indexOf(xs, x)
 			return runOnline(inst, algo, runSeed(opts.Seed, 6, xi, rep, algoIndex(tbl, algo)),
 				opts.Horizon+20, !opts.SkipAudit)

@@ -18,6 +18,11 @@ type bbNode struct {
 	floors map[Var]float64 // v <= value
 	ceils  map[Var]float64 // v >= value
 	depth  int
+	// warm is the parent node's optimal basis: the child LP differs by a
+	// single bound row, so seeding from it typically re-solves in a few
+	// pivots (and falls back to a cold start when the new bound makes
+	// the parent basis primal infeasible).
+	warm *Basis
 }
 
 // IntegerOptions tunes SolveInteger.
@@ -164,6 +169,7 @@ func (p *Problem) SolveIntegerWithOptions(opts IntegerOptions) (*Solution, error
 			floors: cloneBounds(node.floors),
 			ceils:  cloneBounds(node.ceils),
 			depth:  node.depth + 1,
+			warm:   sol.Basis,
 		}
 		if cur, ok := down.floors[branch]; !ok || lo < cur {
 			down.floors[branch] = lo
@@ -173,6 +179,7 @@ func (p *Problem) SolveIntegerWithOptions(opts IntegerOptions) (*Solution, error
 			floors: cloneBounds(node.floors),
 			ceils:  cloneBounds(node.ceils),
 			depth:  node.depth + 1,
+			warm:   sol.Basis,
 		}
 		if cur, ok := up.ceils[branch]; !ok || hi > cur {
 			up.ceils[branch] = hi
@@ -266,6 +273,12 @@ func (p *Problem) solveNode(node *bbNode, opts SolveOptions) (*Solution, error) 
 		if _, err := p.AddConstraint(fmt.Sprintf("bb-ge-%d", v), GE, node.ceils[v], Term{Var: v, Coef: 1}); err != nil {
 			return nil, err
 		}
+	}
+	// Seed the child LP from the parent's optimal basis; the solver
+	// discards it automatically if the new branching bound cuts it off.
+	// The root node keeps any caller-provided warm start.
+	if node.warm != nil {
+		opts.WarmStart = node.warm
 	}
 	return p.SolveWithOptions(opts)
 }

@@ -1,0 +1,217 @@
+package lp
+
+import "math"
+
+// factorPivotTol is the minimum pivot magnitude the factorization accepts
+// when refactorizing or replaying a warm basis.
+const factorPivotTol = 1e-9
+
+// eta is one product-form update E_k of the basis inverse: the identity
+// with column r replaced. Its off-diagonal nonzeros live in the factor's
+// shared arena at [start, end), so appending a pivot allocates nothing
+// once the arena has warmed up and applying the whole file walks
+// contiguous memory.
+type eta struct {
+	r          int
+	diag       float64 // E[r][r] = 1/pivot
+	start, end int     // arena span: E[eri[k]][r] = evx[k], k in [start, end)
+}
+
+// factor maintains B^{-1} in product form: an optional dense inverse of a
+// reference basis (nil means the reference basis is the identity, as at a
+// cold start from the all-slack basis) composed with a file of eta
+// updates, one per pivot since the last refactorization.
+type factor struct {
+	m     int
+	b0inv [][]float64 // reference inverse; nil == identity
+	etas  []eta
+	// eta arena shared by all etas in the file.
+	eri []int
+	evx []float64
+	// scratch buffers reused across calls.
+	tmp []float64
+}
+
+// init (re)sizes the factorization for an m-row basis and drops any
+// previous state, reusing recycled storage where large enough.
+func (f *factor) init(m int) {
+	f.m = m
+	f.tmp = growFloats(f.tmp, m)
+	f.reset()
+}
+
+// reset drops all state back to the identity reference basis.
+func (f *factor) reset() {
+	f.b0inv = nil
+	f.etas = f.etas[:0]
+	f.eri = f.eri[:0]
+	f.evx = f.evx[:0]
+}
+
+// size reports the eta-file length (pivots since last refactorization).
+func (f *factor) size() int { return len(f.etas) }
+
+// applyEtas computes u <- E_k ... E_1 u.
+func (f *factor) applyEtas(u []float64) {
+	for k := range f.etas {
+		e := &f.etas[k]
+		ur := u[e.r]
+		if ur == 0 {
+			continue
+		}
+		u[e.r] = e.diag * ur
+		for idx := e.start; idx < e.end; idx++ {
+			u[f.eri[idx]] += f.evx[idx] * ur
+		}
+	}
+}
+
+// ftranCol computes u = B^{-1} A_j for a sparse column of A.
+func (f *factor) ftranCol(a *csc, j int, u []float64) {
+	rows, vals := a.col(j)
+	if f.b0inv == nil {
+		for i := range u {
+			u[i] = 0
+		}
+		for k, r := range rows {
+			u[r] = vals[k]
+		}
+	} else {
+		for i := range u {
+			u[i] = 0
+		}
+		for k, r := range rows {
+			v := vals[k]
+			if v == 0 {
+				continue
+			}
+			for i := 0; i < f.m; i++ {
+				u[i] += f.b0inv[i][r] * v
+			}
+		}
+	}
+	f.applyEtas(u)
+}
+
+// ftranVec computes u = B^{-1} b for a dense b.
+func (f *factor) ftranVec(b []float64, u []float64) {
+	if f.b0inv == nil {
+		copy(u, b)
+	} else {
+		for i := 0; i < f.m; i++ {
+			s := 0.0
+			row := f.b0inv[i]
+			for k := 0; k < f.m; k++ {
+				s += row[k] * b[k]
+			}
+			u[i] = s
+		}
+	}
+	f.applyEtas(u)
+}
+
+// btran computes v <- v^T B^{-1} in place: the eta file is applied
+// transposed in reverse order, then the dense reference inverse (if any).
+func (f *factor) btran(v []float64) {
+	for k := len(f.etas) - 1; k >= 0; k-- {
+		e := &f.etas[k]
+		s := e.diag * v[e.r]
+		for idx := e.start; idx < e.end; idx++ {
+			s += f.evx[idx] * v[f.eri[idx]]
+		}
+		v[e.r] = s
+	}
+	if f.b0inv != nil {
+		tmp := f.tmp
+		for c := 0; c < f.m; c++ {
+			tmp[c] = 0
+		}
+		for i := 0; i < f.m; i++ {
+			vi := v[i]
+			if vi == 0 {
+				continue
+			}
+			row := f.b0inv[i]
+			for c := 0; c < f.m; c++ {
+				tmp[c] += vi * row[c]
+			}
+		}
+		copy(v, tmp)
+	}
+}
+
+// update appends the eta matrix of a pivot on basis position r with
+// direction u = B^{-1} A_enter (pre-pivot values). u[r] must be nonzero.
+func (f *factor) update(u []float64, r int) {
+	piv := u[r]
+	inv := 1 / piv
+	start := len(f.eri)
+	for i, ui := range u {
+		if i == r || ui == 0 {
+			continue
+		}
+		f.eri = append(f.eri, i)
+		f.evx = append(f.evx, -ui*inv)
+	}
+	f.etas = append(f.etas, eta{r: r, diag: inv, start: start, end: len(f.eri)})
+}
+
+// refactorize recomputes the dense reference inverse from the basis
+// columns by Gauss-Jordan elimination with partial pivoting and clears the
+// eta file. It reports false (leaving the current representation intact)
+// if the basis matrix is numerically singular.
+func (f *factor) refactorize(a *csc, basis []int) bool {
+	m := f.m
+	work := make([][]float64, m) // [B | I] augmented rows
+	for i := 0; i < m; i++ {
+		work[i] = make([]float64, 2*m)
+		work[i][m+i] = 1
+	}
+	for k, j := range basis {
+		rows, vals := a.col(j)
+		for idx, r := range rows {
+			work[r][k] = vals[idx]
+		}
+	}
+	for col := 0; col < m; col++ {
+		piv := col
+		best := math.Abs(work[col][col])
+		for r := col + 1; r < m; r++ {
+			if v := math.Abs(work[r][col]); v > best {
+				best = v
+				piv = r
+			}
+		}
+		if best < factorPivotTol {
+			return false
+		}
+		work[col], work[piv] = work[piv], work[col]
+		inv := 1 / work[col][col]
+		rowC := work[col]
+		for k := col; k < 2*m; k++ {
+			rowC[k] *= inv
+		}
+		for r := 0; r < m; r++ {
+			if r == col {
+				continue
+			}
+			fac := work[r][col]
+			if fac == 0 {
+				continue
+			}
+			rowR := work[r]
+			for k := col; k < 2*m; k++ {
+				rowR[k] -= fac * rowC[k]
+			}
+		}
+	}
+	inv := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		inv[i] = work[i][m:]
+	}
+	f.b0inv = inv
+	f.etas = f.etas[:0]
+	f.eri = f.eri[:0]
+	f.evx = f.evx[:0]
+	return true
+}

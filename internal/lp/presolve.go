@@ -11,6 +11,19 @@ package lp
 //
 // (x >= 0 supplies the other side). It returns the fixed mask and count.
 func (p *Problem) detectFixedZero() ([]bool, int) {
+	// Only zero-rhs rows can pin; without any, skip the nonzero scan (the
+	// common case for the per-slot relaxations, which solve in sequence and
+	// should not pay a full matrix pass each for a B&B-only shape).
+	any := false
+	for i := range p.rows {
+		if r := p.rows[i].rhs; r <= feasTol && r >= -feasTol {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil, 0
+	}
 	type rowAgg struct {
 		nnz  int
 		col  int

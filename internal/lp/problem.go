@@ -11,8 +11,13 @@
 //
 // Scale notes: the relaxations solved here have a few hundred rows and up
 // to tens of thousands of columns. The solver stores the constraint matrix
-// sparsely by column and maintains a dense basis inverse, which is the
-// right trade-off at that shape (m << n).
+// in compressed-sparse-column form and maintains the basis inverse in
+// product form (a periodically refactorized reference inverse plus an
+// eta file of pivot updates), prices with devex partial pricing, and can
+// warm-start from a previous solution's basis (Solution.Basis and
+// SolveOptions.WarmStart) — the right trade-offs at that shape (m << n)
+// and for the sequences of slightly-perturbed LPs the per-slot online
+// algorithms generate.
 package lp
 
 import (
@@ -97,9 +102,12 @@ type Term struct {
 	Coef float64
 }
 
-// column holds the builder-side description of one variable.
+// column holds the builder-side description of one variable. The name
+// hash is precomputed at build time so warm-basis resolution never has to
+// hash thousands of column names inside a solve.
 type column struct {
 	name    string
+	hash    uint64
 	obj     float64
 	integer bool
 	entries []entry // filled when constraints reference the column
@@ -114,8 +122,20 @@ type entry struct {
 // row holds one constraint.
 type row struct {
 	name string
+	hash uint64
 	op   Op
 	rhs  float64
+}
+
+// nameHash is FNV-1a, fixed here (rather than hash/fnv) to keep the hot
+// path allocation free.
+func nameHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // Problem is a linear (or mixed-integer) program under construction. All
@@ -148,14 +168,14 @@ func (p *Problem) NumConstraints() int { return len(p.rows) }
 // AddVariable adds a continuous variable x >= 0 with the given objective
 // coefficient and returns its handle.
 func (p *Problem) AddVariable(name string, obj float64) Var {
-	p.cols = append(p.cols, column{name: name, obj: obj})
+	p.cols = append(p.cols, column{name: name, hash: nameHash(name), obj: obj})
 	return Var(len(p.cols) - 1)
 }
 
 // AddIntegerVariable adds an integer variable x >= 0 (branched on by
 // SolveInteger; treated as continuous by Solve).
 func (p *Problem) AddIntegerVariable(name string, obj float64) Var {
-	p.cols = append(p.cols, column{name: name, obj: obj, integer: true})
+	p.cols = append(p.cols, column{name: name, hash: nameHash(name), obj: obj, integer: true})
 	return Var(len(p.cols) - 1)
 }
 
@@ -169,7 +189,7 @@ func (p *Problem) AddConstraint(name string, op Op, rhs float64, terms ...Term) 
 		return 0, fmt.Errorf("%w: rhs %v", ErrBadCoef, rhs)
 	}
 	r := len(p.rows)
-	p.rows = append(p.rows, row{name: name, op: op, rhs: rhs})
+	p.rows = append(p.rows, row{name: name, hash: nameHash(name), op: op, rhs: rhs})
 	// Accumulate duplicate variables within the same constraint.
 	acc := make(map[Var]float64, len(terms))
 	for _, t := range terms {
@@ -211,6 +231,11 @@ type Solution struct {
 	// constraint: Dual[i] = dObjective/d rhs_i. Only set for continuous
 	// solves that reach StatusOptimal; nil for integer solves.
 	Dual []float64
+	// Basis is the optimal basis, usable as SolveOptions.WarmStart for a
+	// subsequent structurally similar solve (the next time slot's LP-PT,
+	// the next rounding pass, a branch-and-bound child). Only set for
+	// continuous solves that reach StatusOptimal.
+	Basis *Basis
 }
 
 // DualOf returns the shadow price of constraint row (0 when unavailable).

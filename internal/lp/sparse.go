@@ -1,0 +1,55 @@
+package lp
+
+// csc is a compressed-sparse-column matrix: the nonzeros of column j are
+// ri[ptr[j]:ptr[j+1]] / vx[ptr[j]:ptr[j+1]]. All columns share two backing
+// arrays, so column scans (the pricing loop) walk contiguous memory
+// instead of chasing one slice header per column.
+type csc struct {
+	ptr []int
+	ri  []int
+	vx  []float64
+}
+
+// numCols returns the number of columns appended so far.
+func (a *csc) numCols() int { return len(a.ptr) - 1 }
+
+// push appends one nonzero to the column currently being assembled;
+// endCol seals it. Together they let a builder stream entries straight
+// into the shared backing arrays without a per-column staging buffer.
+func (a *csc) push(row int, val float64) {
+	a.ri = append(a.ri, row)
+	a.vx = append(a.vx, val)
+}
+
+// endCol seals the column assembled by preceding push calls.
+func (a *csc) endCol() {
+	a.ptr = append(a.ptr, len(a.ri))
+}
+
+// appendUnit adds a column with a single nonzero.
+func (a *csc) appendUnit(row int, val float64) {
+	a.ri = append(a.ri, row)
+	a.vx = append(a.vx, val)
+	a.ptr = append(a.ptr, len(a.ri))
+}
+
+// col returns views of column j's row indices and values.
+func (a *csc) col(j int) ([]int, []float64) {
+	s, e := a.ptr[j], a.ptr[j+1]
+	return a.ri[s:e], a.vx[s:e]
+}
+
+// dot computes v . A_j for a dense vector v. The reslicing lets the
+// compiler drop the per-element bounds checks in the pricing loop, which
+// calls this hundreds of times per pivot.
+func (a *csc) dot(v []float64, j int) float64 {
+	s, e := a.ptr[j], a.ptr[j+1]
+	ri := a.ri[s:e]
+	vx := a.vx[s:e]
+	vx = vx[:len(ri)]
+	d := 0.0
+	for k := range ri {
+		d += v[ri[k]] * vx[k]
+	}
+	return d
+}

@@ -61,6 +61,11 @@ type DynamicRR struct {
 	lastArm int
 	played  bool
 	opts    DynamicRROptions
+	// warm carries the per-pass LP-PT bases from slot to slot:
+	// consecutive slots differ only by arrivals, departures, and realized
+	// occupancy, so the previous slot's optimal basis re-solves in a few
+	// pivots.
+	warm *core.WarmCache
 }
 
 var _ Scheduler = (*DynamicRR)(nil)
@@ -79,7 +84,7 @@ func NewDynamicRR(opts DynamicRROptions) (*DynamicRR, error) {
 			ErrBadThreshold, opts.MinThresholdMHz, opts.MaxThresholdMHz, opts.Kappa)
 	}
 	if opts.Learner != nil {
-		return &DynamicRR{learner: opts.Learner, opts: opts}, nil
+		return &DynamicRR{learner: opts.Learner, opts: opts, warm: core.NewWarmCache()}, nil
 	}
 	pol := opts.Policy
 	if pol == nil {
@@ -96,7 +101,7 @@ func NewDynamicRR(opts DynamicRROptions) (*DynamicRR, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DynamicRR{learner: lip, lip: lip, opts: opts}, nil
+	return &DynamicRR{learner: lip, lip: lip, opts: opts, warm: core.NewWarmCache()}, nil
 }
 
 // Name implements Scheduler.
@@ -153,6 +158,7 @@ func (d *DynamicRR) Schedule(eng *Engine, res *core.Result, t int, pending []int
 		RoundingDenominator: d.opts.RoundingDenominator,
 		Passes:              d.opts.Passes,
 		Distribute:          true,
+		Warm:                d.warm,
 	})
 	if err != nil {
 		return nil, err
