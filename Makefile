@@ -17,11 +17,11 @@ test:
 ## race: concurrency-sensitive packages under the race detector
 ## (shortened experiment profile, same as the CI race job).
 race:
-	$(GO) test -race -short ./internal/experiment/... ./internal/sim/...
+	$(GO) test -race -short ./internal/experiment/... ./internal/sim/... ./internal/serve/... ./cmd/arserved/...
 
 ## bench: the hot-path benchmarks, timed (LP warm-start contrast included).
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkAppro|BenchmarkDynamicRRRun|BenchmarkLPColdVsWarm|BenchmarkLPPTSlot' -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkAppro|BenchmarkDynamicRRRun|BenchmarkLPColdVsWarm|BenchmarkLPPTSlot|BenchmarkServeSlot' -benchmem .
 
 ## bench-smoke: compile-and-run-once pass over the gating benchmarks,
 ## mirroring the CI bench-smoke job.

@@ -1,0 +1,55 @@
+package mecoffload
+
+import (
+	"math/rand"
+	"testing"
+
+	"mecoffload/internal/mec"
+	"mecoffload/internal/serve"
+)
+
+// BenchmarkServeSlot measures one daemon scheduling slot under steady
+// load: each iteration submits a small arrival burst and ticks the
+// admission engine once, exercising intake, DynamicRR with the
+// warm-started LP-PT, settlement, and the shard fan-out — the loop a
+// production arserved runs every tick interval.
+func BenchmarkServeSlot(b *testing.B) {
+	net, err := mec.RandomNetwork(20, 3000, 3600, rand.New(rand.NewSource(17)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := serve.New(serve.Config{Net: net, Rng: rand.New(rand.NewSource(18))})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.Start()
+	defer func() { _ = eng.Stop() }()
+
+	// Warm the LP basis cache so iterations measure the steady state.
+	for i := 0; i < 4; i++ {
+		if _, _, err := eng.Submit(serve.RequestSpec{AccessStation: i % 20, DurationSlots: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := eng.Tick(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < 4; k++ {
+			if _, _, err := eng.Submit(serve.RequestSpec{AccessStation: (4*i + k) % 20, DurationSlots: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := eng.Tick(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	hits, misses := eng.WarmStats()
+	if total := hits + misses; total > 0 {
+		b.ReportMetric(float64(hits)/float64(total), "warm-hit-ratio")
+	}
+}

@@ -1,0 +1,240 @@
+// Command arserved is the real-time admission daemon for AR offloading:
+// it serves the repo's schedulers (the paper's DynamicRR by default)
+// behind an HTTP JSON API, advancing one scheduling slot per wall-clock
+// tick against live per-station capacity, checkpointing bandit arm
+// statistics and in-flight assignments so a restart resumes learning.
+//
+// Usage:
+//
+//	arserved -addr :8080 -stations 20 -tick 50ms -checkpoint state.json
+//	arserved -scheduler ocorp -trace
+//	arserved -replay trace.json -requests-per-30fps 1
+//
+// Endpoints: POST /v1/requests, GET /v1/requests/{id}, /metrics,
+// /healthz, /readyz. SIGTERM or SIGINT triggers a graceful drain: intake
+// closes, in-flight streams run to departure (bounded by -drain-timeout),
+// a final checkpoint is written, and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mecoffload/internal/mec"
+	"mecoffload/internal/rnd"
+	"mecoffload/internal/scenario"
+	"mecoffload/internal/serve"
+	"mecoffload/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "arserved: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("arserved", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		schedName  = fs.String("scheduler", "dynamicrr", "scheduler: dynamicrr, ocorp, greedy, heukkt")
+		stations   = fs.Int("stations", 20, "number of base stations (generated topology)")
+		scenIn     = fs.String("scenario-in", "", "load the topology from this scenario JSON instead of generating one")
+		seed       = fs.Int64("seed", 42, "random seed")
+		tick       = fs.Duration("tick", 50*time.Millisecond, "wall-clock length of one scheduling slot")
+		slotMS     = fs.Float64("slot-ms", mec.DefaultSlotLengthMS, "model slot length in milliseconds")
+		shards     = fs.Int("shards", 4, "state shards")
+		ckptPath   = fs.String("checkpoint", "", "checkpoint file (restore on start, rewrite periodically)")
+		ckptEvery  = fs.Int("checkpoint-every", 50, "ticks between checkpoints")
+		trace      = fs.Bool("trace", false, "print one line per slot (arsim trace format)")
+		drainAfter = fs.Duration("drain-timeout", 10*time.Second, "max wait for in-flight streams on shutdown")
+		replay     = fs.String("replay", "", "replay a workload trace JSON as a load generator instead of serving HTTP")
+		replayRate = fs.Int("requests-per-30fps", 1, "replay: requests per second per 30 fps of trace")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var net_ *mec.Network
+	if *scenIn != "" {
+		f, err := os.Open(*scenIn)
+		if err != nil {
+			return err
+		}
+		n, _, rerr := scenario.Read(f)
+		cerr := f.Close()
+		if rerr != nil {
+			return rerr
+		}
+		if cerr != nil {
+			return cerr
+		}
+		net_ = n
+	} else {
+		n, err := mec.RandomNetwork(*stations, 3000, 3600, rnd.New(*seed, "topology"))
+		if err != nil {
+			return err
+		}
+		net_ = n
+	}
+
+	cfg := serve.Config{
+		Net:             net_,
+		SchedulerName:   *schedName,
+		SlotLengthMS:    *slotMS,
+		Rng:             rnd.New(*seed, "serve"),
+		Shards:          *shards,
+		CheckpointPath:  *ckptPath,
+		CheckpointEvery: *ckptEvery,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(out, format+"\n", a...)
+		},
+	}
+	if *trace {
+		cfg.TraceWriter = out
+	}
+
+	if *replay != "" {
+		// Replay mode keeps the manual clock (TickInterval zero): model
+		// time advances as fast as the scheduler runs.
+		eng, err := serve.New(cfg)
+		if err != nil {
+			return err
+		}
+		eng.Start()
+		defer func() { _ = eng.Stop() }()
+		return runReplay(eng, *replay, *slotMS, *replayRate, rnd.New(*seed, "replay"), out)
+	}
+
+	cfg.TickInterval = *tick
+	eng, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	eng.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: serve.Handler(eng)}
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- srv.Serve(ln) }()
+
+	// Arm signal handling before announcing the address, so anything that
+	// reacts to the announcement can already deliver SIGTERM safely.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sigs)
+	fmt.Fprintf(out, "arserved: %s scheduler, %d stations, listening on %s\n",
+		eng.SchedulerName(), net_.NumStations(), ln.Addr())
+
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(out, "arserved: %v, draining\n", sig)
+	case err := <-httpDone:
+		_ = eng.Stop()
+		return fmt.Errorf("http server: %w", err)
+	case <-eng.Done():
+		// The engine loop exited on its own (a drain requested elsewhere).
+	}
+
+	// Graceful drain: refuse new work, let streams depart, checkpoint.
+	if err := eng.Drain(); err != nil && !errors.Is(err, serve.ErrStopped) {
+		fmt.Fprintf(out, "arserved: drain: %v\n", err)
+	}
+	select {
+	case <-eng.Done():
+		fmt.Fprintln(out, "arserved: drained cleanly")
+	case <-time.After(*drainAfter):
+		fmt.Fprintf(out, "arserved: drain timeout after %v, stopping with streams in flight\n", *drainAfter)
+	}
+	if err := eng.Stop(); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	return nil
+}
+
+// runReplay feeds a captured frame trace through the daemon core as a
+// load generator: every trace second maps to 1000/slotMS slots, with a
+// request volume proportional to the second's frame rate and a demand
+// distribution pinned to the second's scaled pipeline rate.
+func runReplay(eng *serve.Engine, path string, slotMS float64, perThirtyFPS int, rng *rand.Rand, out io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	tr, rerr := workload.ReadTrace(f)
+	cerr := f.Close()
+	if rerr != nil {
+		return rerr
+	}
+	if cerr != nil {
+		return cerr
+	}
+
+	rates := tr.ScaleToRate(workload.DefaultMinRate, workload.DefaultMaxRate)
+	slotsPerSecond := int(1000/slotMS + 0.5)
+	if slotsPerSecond < 1 {
+		slotsPerSecond = 1
+	}
+	submitted := 0
+	for s, fps := range tr.FPS {
+		n := perThirtyFPS * fps / 30
+		if n < 1 {
+			n = 1
+		}
+		for k := 0; k < n; k++ {
+			unit := workload.DefaultMinUnitReward +
+				rng.Float64()*(workload.DefaultMaxUnitReward-workload.DefaultMinUnitReward)
+			spec := serve.RequestSpec{
+				AccessStation: submitted % eng.NumStations(),
+				Outcomes: []serve.OutcomeSpec{
+					{RateMBs: rates[s], Prob: 1, Reward: unit * rates[s]},
+				},
+			}
+			if _, _, err := eng.Submit(spec); err != nil {
+				return fmt.Errorf("replay second %d: %w", s, err)
+			}
+			submitted++
+		}
+		for k := 0; k < slotsPerSecond; k++ {
+			if err := eng.Tick(); err != nil {
+				return err
+			}
+		}
+	}
+	// Drain the tail so every admitted stream departs before the summary.
+	if err := eng.Drain(); err != nil {
+		return err
+	}
+	for eng.Alive() {
+		if err := eng.Tick(); err != nil {
+			if errors.Is(err, serve.ErrStopped) {
+				break
+			}
+			return err
+		}
+	}
+	m := eng.Metrics()
+	fmt.Fprintf(out, "replayed %d trace seconds: submitted=%d served=%d evicted=%d expired=%d reward=$%.0f over %d slots\n",
+		len(tr.FPS), m.Submitted.Load(), m.Served.Load(), m.Evicted.Load(), m.Expired.Load(),
+		m.Reward.Load(), m.Ticks.Load())
+	return nil
+}

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"mecoffload/internal/workload"
+)
+
+// syncBuffer makes run's output readable while run is still writing.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func writeTrace(t *testing.T, seconds int) string {
+	t.Helper()
+	tr, err := workload.GenerateTrace(seconds, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestReplayMode exercises arserved -replay end to end: the trace drives
+// the load generator, slots tick, and the summary reports served work.
+func TestReplayMode(t *testing.T) {
+	path := writeTrace(t, 5)
+	var out bytes.Buffer
+	err := run([]string{"-replay", path, "-stations", "4", "-seed", "7", "-trace"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "replayed 5 trace seconds") {
+		t.Fatalf("missing replay summary in:\n%s", text)
+	}
+	if !strings.Contains(text, "slot    0  pending ") {
+		t.Fatalf("missing trace lines in:\n%s", text)
+	}
+	m := regexp.MustCompile(`submitted=(\d+) served=(\d+)`).FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("summary not parseable:\n%s", text)
+	}
+	if m[1] == "0" || m[2] == "0" {
+		t.Fatalf("replay did no work: %s", m[0])
+	}
+}
+
+// TestServeModeSignalDrain boots the full HTTP daemon on an ephemeral
+// port, exercises the API, then SIGTERMs the process and checks run
+// returns nil after a clean drain — the same sequence the CI smoke job
+// drives from the outside.
+func TestServeModeSignalDrain(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "state.json")
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0", "-stations", "4", "-tick", "10ms",
+			"-checkpoint", ckpt, "-checkpoint-every", "5",
+		}, out)
+	}()
+
+	// Wait for the announced address.
+	var base string
+	re := regexp.MustCompile(`listening on (\S+)`)
+	for i := 0; i < 200; i++ {
+		if m := re.FindStringSubmatch(out.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if base == "" {
+		t.Fatalf("daemon never announced an address:\n%s", out.String())
+	}
+
+	for i := 0; i < 5; i++ {
+		body := fmt.Sprintf(`{"accessStation": %d, "durationSlots": 2}`, i%4)
+		resp, err := http.Post(base+"/v1/requests", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d -> %d: %s", i, resp.StatusCode, data)
+		}
+		var sub struct {
+			ID uint64 `json:"id"`
+		}
+		if err := json.Unmarshal(data, &sub); err != nil {
+			t.Fatal(err)
+		}
+		if sub.ID != uint64(i) {
+			t.Fatalf("id %d, want %d", sub.ID, i)
+		}
+	}
+
+	// Let a few wall-clock ticks run, then check the scrape surfaces.
+	time.Sleep(100 * time.Millisecond)
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(metrics) == 0 {
+		t.Fatalf("metrics scrape %d, %d bytes", resp.StatusCode, len(metrics))
+	}
+	if !strings.Contains(string(metrics), "arserved_ticks_total") {
+		t.Fatal("metrics missing tick counter")
+	}
+	for _, ep := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(base + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s -> %d", ep, resp.StatusCode)
+		}
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run exited with %v\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon did not drain after SIGTERM:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "drained cleanly") {
+		t.Fatalf("no clean drain marker:\n%s", out.String())
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint written at shutdown: %v", err)
+	}
+}
+
+// TestBadFlags covers the error paths.
+func TestBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scheduler", "nope", "-replay", "also-missing"}, &out); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+	if err := run([]string{"-replay", "/does/not/exist.json"}, &out); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+	if err := run([]string{"-scenario-in", "/does/not/exist.json"}, &out); err == nil {
+		t.Fatal("missing scenario accepted")
+	}
+}

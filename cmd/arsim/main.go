@@ -14,11 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
 
 	"mecoffload/internal/core"
 	"mecoffload/internal/mec"
+	"mecoffload/internal/rnd"
 	"mecoffload/internal/scenario"
 	"mecoffload/internal/sim"
 	"mecoffload/internal/stats"
@@ -95,7 +95,7 @@ func run(args []string, out io.Writer) error {
 			return cerr
 		}
 	} else {
-		rng := rand.New(rand.NewSource(*seed))
+		rng := rnd.New(*seed, "scenario")
 		var err error
 		net, err = mec.RandomNetwork(*stations, 3000, 3600, rng)
 		if err != nil {
@@ -151,7 +151,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	simHorizon := *horizon + 20
-	eng, err := sim.NewEngine(net, reqs, rand.New(rand.NewSource(*seed+1)), sim.Config{Horizon: simHorizon})
+	eng, err := sim.NewEngine(net, reqs, rnd.New(*seed, "engine"), sim.Config{Horizon: simHorizon})
 	if err != nil {
 		return err
 	}

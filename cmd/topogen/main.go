@@ -13,9 +13,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
 
+	"mecoffload/internal/rnd"
 	"mecoffload/internal/topology"
 )
 
@@ -43,7 +43,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	rng := rand.New(rand.NewSource(*seed))
+	rng := rnd.New(*seed, "topology")
 	cfg := topology.Config{N: *n, Alpha: *alpha, Beta: *beta}
 	var (
 		topo *topology.Topology

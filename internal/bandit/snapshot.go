@@ -1,0 +1,166 @@
+package bandit
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Snapshot kinds. Only policies whose state is fully captured by per-arm
+// statistics plus a few scalars are snapshottable; EpsilonGreedy is not
+// (its exploration stream lives in an external *rand.Rand).
+const (
+	KindSuccessiveElimination = "successive-elimination"
+	KindUCB1                  = "ucb1"
+	KindFixed                 = "fixed"
+)
+
+// ErrUnsupportedSnapshot reports a policy that cannot round-trip through
+// a snapshot.
+var ErrUnsupportedSnapshot = errors.New("bandit: policy does not support snapshots")
+
+// ArmSnapshot is one arm's persisted statistics.
+type ArmSnapshot struct {
+	Plays  int     `json:"plays"`
+	Sum    float64 `json:"sum"`
+	Active bool    `json:"active,omitempty"`
+}
+
+// PolicySnapshot is the serializable state of a finite-arm policy: arm
+// means and pull counts, the eliminated set, the round counter, the
+// round-robin cursor, and the observed reward range that scales the
+// confidence radii. Restoring it yields a policy whose future decisions
+// are identical to the original's.
+type PolicySnapshot struct {
+	Kind   string        `json:"kind"`
+	T      int           `json:"t"`
+	Next   int           `json:"next,omitempty"`
+	Arm    int           `json:"arm,omitempty"` // Fixed's pinned arm
+	MinObs float64       `json:"minObs,omitempty"`
+	MaxObs float64       `json:"maxObs,omitempty"`
+	Seen   bool          `json:"seen,omitempty"`
+	Arms   []ArmSnapshot `json:"arms"`
+}
+
+// LipschitzSnapshot persists a Lipschitz wrapper: the continuous interval
+// plus the inner policy's state.
+type LipschitzSnapshot struct {
+	Min    float64         `json:"min"`
+	Max    float64         `json:"max"`
+	Policy *PolicySnapshot `json:"policy"`
+}
+
+// Snapshot captures the policy's state.
+func (se *SuccessiveElimination) Snapshot() *PolicySnapshot {
+	s := &PolicySnapshot{
+		Kind:   KindSuccessiveElimination,
+		T:      se.t,
+		Next:   se.next,
+		MinObs: se.minObs,
+		MaxObs: se.maxObs,
+		Seen:   se.seen,
+		Arms:   make([]ArmSnapshot, len(se.arms)),
+	}
+	for i := range se.arms {
+		s.Arms[i] = ArmSnapshot{Plays: se.arms[i].plays, Sum: se.arms[i].sum, Active: se.active[i]}
+	}
+	return s
+}
+
+// Snapshot captures the policy's state.
+func (u *UCB1) Snapshot() *PolicySnapshot {
+	s := &PolicySnapshot{
+		Kind:   KindUCB1,
+		T:      u.t,
+		MinObs: u.minObs,
+		MaxObs: u.maxObs,
+		Seen:   u.seen,
+		Arms:   make([]ArmSnapshot, len(u.arms)),
+	}
+	for i := range u.arms {
+		s.Arms[i] = ArmSnapshot{Plays: u.arms[i].plays, Sum: u.arms[i].sum}
+	}
+	return s
+}
+
+// Snapshot captures the policy's state.
+func (f *Fixed) Snapshot() *PolicySnapshot {
+	return &PolicySnapshot{
+		Kind: KindFixed,
+		Arm:  f.arm,
+		Arms: make([]ArmSnapshot, f.k),
+	}
+}
+
+// Snapshotter is implemented by policies that can persist their state.
+type Snapshotter interface {
+	Snapshot() *PolicySnapshot
+}
+
+// RestorePolicy rebuilds a policy from its snapshot.
+func RestorePolicy(s *PolicySnapshot) (Policy, error) {
+	if s == nil {
+		return nil, fmt.Errorf("%w: nil snapshot", ErrUnsupportedSnapshot)
+	}
+	if len(s.Arms) == 0 {
+		return nil, ErrNoArms
+	}
+	switch s.Kind {
+	case KindSuccessiveElimination:
+		se, err := NewSuccessiveElimination(len(s.Arms))
+		if err != nil {
+			return nil, err
+		}
+		se.t = s.T
+		se.next = s.Next
+		se.minObs, se.maxObs, se.seen = s.MinObs, s.MaxObs, s.Seen
+		se.nActive = 0
+		for i, a := range s.Arms {
+			se.arms[i] = armStats{plays: a.Plays, sum: a.Sum}
+			se.active[i] = a.Active
+			if a.Active {
+				se.nActive++
+			}
+		}
+		if se.nActive == 0 {
+			return nil, fmt.Errorf("%w: no active arms", ErrUnsupportedSnapshot)
+		}
+		return se, nil
+	case KindUCB1:
+		u, err := NewUCB1(len(s.Arms))
+		if err != nil {
+			return nil, err
+		}
+		u.t = s.T
+		u.minObs, u.maxObs, u.seen = s.MinObs, s.MaxObs, s.Seen
+		for i, a := range s.Arms {
+			u.arms[i] = armStats{plays: a.Plays, sum: a.Sum}
+		}
+		return u, nil
+	case KindFixed:
+		return NewFixed(len(s.Arms), s.Arm)
+	default:
+		return nil, fmt.Errorf("%w: kind %q", ErrUnsupportedSnapshot, s.Kind)
+	}
+}
+
+// Snapshot captures the wrapper and its inner policy. It fails with
+// ErrUnsupportedSnapshot when the inner policy cannot be persisted.
+func (l *Lipschitz) Snapshot() (*LipschitzSnapshot, error) {
+	sn, ok := l.policy.(Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("%w: %T", ErrUnsupportedSnapshot, l.policy)
+	}
+	return &LipschitzSnapshot{Min: l.min, Max: l.max, Policy: sn.Snapshot()}, nil
+}
+
+// RestoreLipschitz rebuilds a Lipschitz learner from its snapshot.
+func RestoreLipschitz(s *LipschitzSnapshot) (*Lipschitz, error) {
+	if s == nil {
+		return nil, fmt.Errorf("%w: nil snapshot", ErrUnsupportedSnapshot)
+	}
+	pol, err := RestorePolicy(s.Policy)
+	if err != nil {
+		return nil, err
+	}
+	return NewLipschitz(pol, s.Min, s.Max)
+}

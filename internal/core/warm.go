@@ -17,10 +17,24 @@ import (
 type WarmCache struct {
 	mu     sync.Mutex
 	byPass []*lp.Basis
+	hits   uint64
+	misses uint64
 }
 
 // NewWarmCache returns an empty cache.
 func NewWarmCache() *WarmCache { return &WarmCache{} }
+
+// Stats returns how many basis lookups found a seed basis (hits) versus
+// fell back to a cold solve (misses). The serving daemon exports the
+// ratio as its LP warm-start hit rate.
+func (c *WarmCache) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
 
 // get returns the stored basis for a rounding pass (nil when absent).
 func (c *WarmCache) get(pass int) *lp.Basis {
@@ -29,9 +43,11 @@ func (c *WarmCache) get(pass int) *lp.Basis {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if pass < 0 || pass >= len(c.byPass) {
+	if pass < 0 || pass >= len(c.byPass) || c.byPass[pass] == nil {
+		c.misses++
 		return nil
 	}
+	c.hits++
 	return c.byPass[pass]
 }
 

@@ -1,0 +1,26 @@
+// Package rnd derives labeled deterministic random streams from one base
+// seed. Every cmd/ binary takes a single -seed flag but needs several
+// independent streams (topology, workload, demand realization); deriving
+// each from (seed, label) replaces the fragile seed+1 arithmetic that
+// silently correlates streams when an intermediate consumer is added or
+// removed, and keeps every binary off the global math/rand state.
+package rnd
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// Derive returns the sub-seed for a labeled stream: the FNV-1a hash of
+// the label folded into the base seed. Distinct labels yield decorrelated
+// sub-seeds; the same (seed, label) pair always yields the same stream.
+func Derive(seed int64, label string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(label))
+	return seed ^ int64(h.Sum64())
+}
+
+// New returns a rand.Rand for the labeled stream.
+func New(seed int64, label string) *rand.Rand {
+	return rand.New(rand.NewSource(Derive(seed, label)))
+}

@@ -1,0 +1,891 @@
+// Package serve turns the repo's offline AR-offloading simulation into a
+// long-running admission daemon: requests arrive over an HTTP JSON API,
+// buffer into the current scheduling slot, and a wall-clock ticker runs a
+// sim.Scheduler (the paper's DynamicRR by default) against live
+// per-station capacity state, reusing the warm-started LP-PT bases across
+// consecutive ticks. Mutable observability state is sharded across
+// goroutine-owned shards (shard.go); bandit arm statistics and in-flight
+// assignments checkpoint to disk (checkpoint.go) so a restarted daemon
+// resumes learning instead of resetting its successive-elimination state.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"mecoffload/internal/bandit"
+	"mecoffload/internal/core"
+	"mecoffload/internal/dist"
+	"mecoffload/internal/mec"
+	"mecoffload/internal/sim"
+	"mecoffload/internal/workload"
+)
+
+// Errors returned by the engine's public API.
+var (
+	ErrStopped  = errors.New("serve: engine stopped")
+	ErrDraining = errors.New("serve: engine draining, not accepting requests")
+	ErrBadSpec  = errors.New("serve: invalid request spec")
+)
+
+// TaskSpec is one pipeline stage of a submitted request.
+type TaskSpec struct {
+	Name     string  `json:"name"`
+	OutputKb float64 `json:"outputKb"`
+	WorkMS   float64 `json:"workMS"`
+}
+
+// OutcomeSpec is one (rate, reward) outcome of a submitted request's
+// demand distribution.
+type OutcomeSpec struct {
+	RateMBs float64 `json:"rateMBs"`
+	Prob    float64 `json:"prob"`
+	Reward  float64 `json:"reward"`
+}
+
+// RequestSpec is the JSON body of POST /v1/requests. Zero-valued fields
+// take the paper's workload defaults: a 200 ms deadline, a 20-slot hold,
+// the canonical four-stage AR pipeline, and a five-point demand
+// distribution over 30-50 MB/s.
+type RequestSpec struct {
+	AccessStation int           `json:"accessStation"`
+	DeadlineMS    float64       `json:"deadlineMS,omitempty"`
+	DurationSlots int           `json:"durationSlots,omitempty"`
+	Tasks         []TaskSpec    `json:"tasks,omitempty"`
+	Outcomes      []OutcomeSpec `json:"outcomes,omitempty"`
+}
+
+// Config parameterizes New.
+type Config struct {
+	// Net is the MEC topology to serve (required).
+	Net *mec.Network
+	// SchedulerName selects the per-slot scheduler: "dynamicrr"
+	// (default), "ocorp", "greedy", or "heukkt". The engine constructs
+	// the scheduler itself so a checkpointed bandit state can be restored
+	// into it.
+	SchedulerName string
+	// DynamicRR tunes the default scheduler; ignored for baselines.
+	DynamicRR sim.DynamicRROptions
+	// TickInterval is the wall-clock length of one scheduling slot. Zero
+	// disables the internal ticker: slots advance only via Tick, the mode
+	// tests and benchmarks use.
+	TickInterval time.Duration
+	// SlotLengthMS is the model slot length (default
+	// mec.DefaultSlotLengthMS); it is independent of TickInterval so a
+	// daemon can replay model time faster or slower than the wall clock.
+	SlotLengthMS float64
+	// Rng drives demand realization and spec defaults. Required.
+	Rng *rand.Rand
+	// Shards is the number of state shards (default 4, at most one per
+	// station).
+	Shards int
+	// CheckpointPath, when set, enables checkpointing: New restores from
+	// the file when it exists, and the engine rewrites it every
+	// CheckpointEvery ticks (default 50) and at shutdown.
+	CheckpointPath  string
+	CheckpointEvery int
+	// TraceWriter, when non-nil, receives one line per slot in arsim's
+	// trace format, so offline and online runs are diffable.
+	TraceWriter io.Writer
+	// Logf, when non-nil, receives operational log lines (checkpoint
+	// writes, scheduler errors).
+	Logf func(format string, args ...any)
+	// CompactAfter bounds the planner's decided-request backlog: once
+	// more than this many settled requests accumulate, the engine rebuilds
+	// its planner state from the live set (default 4096).
+	CompactAfter int
+	// MaxRecordsPerShard bounds the status registry (default 65536
+	// records per shard; oldest terminal records evict first).
+	MaxRecordsPerShard int
+}
+
+// liveEntry tracks one live (pending or running) request inside the loop.
+type liveEntry struct {
+	ext     uint64
+	spec    RequestSpec
+	arrival int
+	running bool
+}
+
+// Engine is the admission daemon core. All mutable planner state is owned
+// by the loop goroutine; other goroutines interact only through channels.
+type Engine struct {
+	cfg     Config
+	metrics *Metrics
+	sched   sim.Scheduler
+	shards  []*shard
+
+	intake  chan intakeMsg
+	control chan controlMsg
+
+	loopDone   chan struct{}
+	shardStop  sync.Once
+	shardsDone chan struct{}
+
+	// Loop-owned state.
+	planner *sim.Engine
+	res     *core.Result
+	pending []int
+	slot    int
+	nextExt uint64
+	live    map[int]*liveEntry // internal id -> live request
+	settled int                // decided requests still occupying planner slices
+	drain   bool
+}
+
+type intakeMsg struct {
+	spec  RequestSpec
+	reply chan intakeReply
+}
+
+type intakeReply struct {
+	id   uint64
+	slot int
+	err  error
+}
+
+type controlKind int
+
+const (
+	ctlTick controlKind = iota
+	ctlCheckpoint
+	ctlDrain
+	ctlStop
+)
+
+type controlMsg struct {
+	kind  controlKind
+	reply chan error
+}
+
+// New builds an engine, restoring checkpointed state when
+// cfg.CheckpointPath names an existing file.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("serve: nil network")
+	}
+	if cfg.Rng == nil {
+		return nil, fmt.Errorf("serve: nil rng")
+	}
+	if cfg.SchedulerName == "" {
+		cfg.SchedulerName = "dynamicrr"
+	}
+	if cfg.SlotLengthMS == 0 {
+		cfg.SlotLengthMS = mec.DefaultSlotLengthMS
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if n := cfg.Net.NumStations(); cfg.Shards > n {
+		cfg.Shards = n
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 50
+	}
+	if cfg.CompactAfter <= 0 {
+		cfg.CompactAfter = 4096
+	}
+	if cfg.MaxRecordsPerShard <= 0 {
+		cfg.MaxRecordsPerShard = 65536
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+
+	e := &Engine{
+		cfg:        cfg,
+		metrics:    NewMetrics(),
+		intake:     make(chan intakeMsg, 1024),
+		control:    make(chan controlMsg),
+		loopDone:   make(chan struct{}),
+		shardsDone: make(chan struct{}),
+		live:       map[int]*liveEntry{},
+	}
+
+	var ck *Checkpoint
+	if cfg.CheckpointPath != "" {
+		loaded, err := LoadCheckpoint(cfg.CheckpointPath)
+		if err != nil && !errors.Is(err, ErrNoCheckpoint) {
+			return nil, err
+		}
+		ck = loaded
+	}
+
+	var banditSnap *bandit.LipschitzSnapshot
+	if ck != nil {
+		banditSnap = ck.Bandit
+	}
+	sched, err := buildScheduler(cfg.SchedulerName, cfg.DynamicRR, banditSnap)
+	if err != nil {
+		return nil, err
+	}
+	e.sched = sched
+
+	// Shards partition stations round-robin by index.
+	for s := 0; s < cfg.Shards; s++ {
+		caps := map[int]float64{}
+		for i := 0; i < cfg.Net.NumStations(); i++ {
+			if i%cfg.Shards == s {
+				caps[i] = cfg.Net.Capacity(i)
+			}
+		}
+		e.shards = append(e.shards, newShard(s, caps, cfg.MaxRecordsPerShard))
+	}
+
+	if ck != nil {
+		if err := e.install(ck); err != nil {
+			return nil, fmt.Errorf("serve: restoring checkpoint: %w", err)
+		}
+	} else if err := e.installEmpty(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// buildScheduler constructs the named scheduler, seeding DynamicRR's
+// threshold learner from a checkpointed snapshot when one is given.
+func buildScheduler(name string, opts sim.DynamicRROptions, snap *bandit.LipschitzSnapshot) (sim.Scheduler, error) {
+	switch name {
+	case "dynamicrr":
+		if snap != nil {
+			lip, err := bandit.RestoreLipschitz(snap)
+			if err != nil {
+				return nil, fmt.Errorf("serve: restoring bandit: %w", err)
+			}
+			opts.MinThresholdMHz, opts.MaxThresholdMHz = 0, 0
+			if snap.Min > 0 {
+				opts.MinThresholdMHz, opts.MaxThresholdMHz = snap.Min, snap.Max
+			}
+			opts.Kappa = lip.Kappa()
+			opts.Policy = lip.Policy()
+		}
+		return sim.NewDynamicRR(opts)
+	case "ocorp":
+		return &sim.OnlineOCORP{}, nil
+	case "greedy":
+		return &sim.OnlineGreedy{}, nil
+	case "heukkt":
+		return &sim.OnlineHeuKKT{}, nil
+	default:
+		return nil, fmt.Errorf("serve: unknown scheduler %q", name)
+	}
+}
+
+// installEmpty sets up a fresh planner with no live requests.
+func (e *Engine) installEmpty() error {
+	planner, err := sim.NewLiveEngine(e.cfg.Net, e.cfg.Rng, e.cfg.SlotLengthMS)
+	if err != nil {
+		return err
+	}
+	e.planner = planner
+	e.res = &core.Result{Algorithm: e.sched.Name()}
+	e.pending = nil
+	e.settled = 0
+	return nil
+}
+
+// install rebuilds the planner from a checkpoint (or, during compaction,
+// from an in-memory checkpoint of the live set): live requests re-append
+// in arrival order under fresh dense internal ids, and in-flight streams
+// restore their exact ledger deltas.
+func (e *Engine) install(ck *Checkpoint) error {
+	if err := e.installEmpty(); err != nil {
+		return err
+	}
+	e.slot = ck.Slot
+	e.nextExt = ck.NextExternalID
+	e.live = map[int]*liveEntry{}
+	e.metrics.restoreTotals(ck.Totals)
+	e.metrics.CurrentSlot.Store(int64(ck.Slot))
+
+	reqs := append([]CheckpointRequest(nil), ck.Requests...)
+	sort.Slice(reqs, func(a, b int) bool {
+		if reqs[a].ArrivalSlot != reqs[b].ArrivalSlot {
+			return reqs[a].ArrivalSlot < reqs[b].ArrivalSlot
+		}
+		return reqs[a].ExternalID < reqs[b].ExternalID
+	})
+	ext2int := make(map[uint64]int, len(reqs))
+	for i, cr := range reqs {
+		r, err := e.buildRequest(i, cr.ArrivalSlot, cr.Spec)
+		if err != nil {
+			return fmt.Errorf("request %d: %w", cr.ExternalID, err)
+		}
+		if err := e.planner.Append(r); err != nil {
+			return err
+		}
+		d := core.Decision{RequestID: i, Station: -1}
+		if cr.Running {
+			d.Admitted, d.Served = true, true
+		}
+		e.res.Decisions = append(e.res.Decisions, d)
+		e.live[i] = &liveEntry{ext: cr.ExternalID, spec: cr.Spec, arrival: cr.ArrivalSlot, running: cr.Running}
+		ext2int[cr.ExternalID] = i
+		if !cr.Running {
+			e.pending = append(e.pending, i)
+		}
+	}
+
+	running := make([]sim.RunningSnapshot, 0, len(ck.Running))
+	for _, s := range ck.Running {
+		internal, ok := ext2int[uint64(s.Request)]
+		if !ok {
+			return fmt.Errorf("running stream references unknown request %d", s.Request)
+		}
+		s.Request = internal
+		running = append(running, s)
+	}
+	if err := e.planner.RestoreRunning(running); err != nil {
+		return err
+	}
+	e.metrics.PendingDepth.Store(int64(len(e.pending)))
+	e.metrics.ActiveStreams.Store(int64(e.planner.NumRunning()))
+	return nil
+}
+
+// buildRequest materializes a spec into a planner request, applying the
+// paper-default pipeline, deadline, hold, and demand distribution.
+func (e *Engine) buildRequest(id, arrival int, spec RequestSpec) (*mec.Request, error) {
+	if spec.AccessStation < 0 || spec.AccessStation >= e.cfg.Net.NumStations() {
+		return nil, fmt.Errorf("%w: access station %d out of [0, %d)", ErrBadSpec, spec.AccessStation, e.cfg.Net.NumStations())
+	}
+	deadline := spec.DeadlineMS
+	if deadline == 0 {
+		deadline = 200
+	}
+	if deadline < 0 {
+		return nil, fmt.Errorf("%w: deadline %v", ErrBadSpec, deadline)
+	}
+	dur := spec.DurationSlots
+	if dur == 0 {
+		dur = 20
+	}
+	if dur < 0 {
+		return nil, fmt.Errorf("%w: duration %d slots", ErrBadSpec, dur)
+	}
+	tasks := make([]mec.Task, 0, 4)
+	if len(spec.Tasks) == 0 {
+		for _, st := range workload.CanonicalPipeline() {
+			tasks = append(tasks, mec.Task{Name: st.Name, OutputKb: st.OutputKb, WorkMS: st.BaseWorkMS})
+		}
+	} else {
+		for _, ts := range spec.Tasks {
+			if ts.OutputKb < 0 || ts.WorkMS < 0 {
+				return nil, fmt.Errorf("%w: task %+v", ErrBadSpec, ts)
+			}
+			tasks = append(tasks, mec.Task{Name: ts.Name, OutputKb: ts.OutputKb, WorkMS: ts.WorkMS})
+		}
+	}
+	outcomes := spec.Outcomes
+	if len(outcomes) == 0 {
+		outcomes = e.defaultOutcomes()
+	}
+	distOutcomes := make([]dist.Outcome, 0, len(outcomes))
+	for _, o := range outcomes {
+		distOutcomes = append(distOutcomes, dist.Outcome{Rate: o.RateMBs, Prob: o.Prob, Reward: o.Reward})
+	}
+	d, err := dist.NewRateReward(distOutcomes)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	r := &mec.Request{
+		ID:            id,
+		ArrivalSlot:   arrival,
+		AccessStation: spec.AccessStation,
+		Tasks:         tasks,
+		DeadlineMS:    deadline,
+		DurationSlots: dur,
+		Dist:          d,
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	return r, nil
+}
+
+// defaultOutcomes draws the paper-default five-point demand distribution:
+// rates evenly spaced over [30, 50] MB/s, uniform probabilities, and a
+// unit reward uniform in [12, 15] dollars per MB/s.
+func (e *Engine) defaultOutcomes() []OutcomeSpec {
+	const support = workload.DefaultRateSupport
+	unit := workload.DefaultMinUnitReward +
+		e.cfg.Rng.Float64()*(workload.DefaultMaxUnitReward-workload.DefaultMinUnitReward)
+	out := make([]OutcomeSpec, support)
+	for i := 0; i < support; i++ {
+		rate := workload.DefaultMinRate +
+			float64(i)*(workload.DefaultMaxRate-workload.DefaultMinRate)/float64(support-1)
+		out[i] = OutcomeSpec{RateMBs: rate, Prob: 1.0 / support, Reward: unit * rate}
+	}
+	return out
+}
+
+// Start launches the shard goroutines and the engine loop.
+func (e *Engine) Start() {
+	for _, s := range e.shards {
+		go s.run()
+	}
+	go e.loop()
+}
+
+// Metrics returns the engine's metric surface.
+func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// SchedulerName returns the active scheduler's name.
+func (e *Engine) SchedulerName() string { return e.sched.Name() }
+
+// NumStations returns the served topology's station count.
+func (e *Engine) NumStations() int { return e.cfg.Net.NumStations() }
+
+// WarmStats returns the LP warm-start cache statistics (zero for
+// schedulers without an LP path).
+func (e *Engine) WarmStats() (hits, misses uint64) {
+	if d, ok := e.sched.(*sim.DynamicRR); ok {
+		return d.Warm().Stats()
+	}
+	return 0, 0
+}
+
+// BanditSnapshot captures the DynamicRR threshold learner's state; it
+// errors for baselines and for custom learners that cannot snapshot.
+// Safe only while the loop is stopped or from within tests that own the
+// tick cadence (the learner is loop-owned state).
+func (e *Engine) BanditSnapshot() (*bandit.LipschitzSnapshot, error) {
+	d, ok := e.sched.(*sim.DynamicRR)
+	if !ok || d.Bandit() == nil {
+		return nil, fmt.Errorf("serve: scheduler %s has no snapshottable bandit", e.sched.Name())
+	}
+	return d.Bandit().Snapshot()
+}
+
+// Submit queues a request for the next scheduling slot and returns its
+// externally visible id.
+func (e *Engine) Submit(spec RequestSpec) (uint64, int, error) {
+	msg := intakeMsg{spec: spec, reply: make(chan intakeReply, 1)}
+	select {
+	case e.intake <- msg:
+	case <-e.loopDone:
+		return 0, 0, ErrStopped
+	}
+	select {
+	case rep := <-msg.reply:
+		return rep.id, rep.slot, rep.err
+	case <-e.loopDone:
+		return 0, 0, ErrStopped
+	}
+}
+
+// Status looks up a request's current record. Shards outlive the engine
+// loop (a drained engine still answers status queries) and stop only at
+// Stop, after which lookups fail with ErrStopped.
+func (e *Engine) Status(id uint64) (RequestRecord, bool, error) {
+	sh := e.shards[int(id)%len(e.shards)]
+	msg := statusMsg{id: id, reply: make(chan statusReply, 1)}
+	select {
+	case sh.cmds <- msg:
+	case <-e.shardsDone:
+		return RequestRecord{}, false, ErrStopped
+	}
+	select {
+	case rep := <-msg.reply:
+		return rep.rec, rep.ok, nil
+	case <-e.shardsDone:
+		return RequestRecord{}, false, ErrStopped
+	}
+}
+
+// Gauges assembles the per-station occupancy gauges from every shard.
+func (e *Engine) Gauges() []StationGauge {
+	var out []StationGauge
+	for _, sh := range e.shards {
+		msg := gaugesMsg{reply: make(chan []StationGauge, 1)}
+		select {
+		case sh.cmds <- msg:
+		case <-e.shardsDone:
+			return out
+		}
+		select {
+		case g := <-msg.reply:
+			out = append(out, g...)
+		case <-e.shardsDone:
+			return out
+		}
+	}
+	return out
+}
+
+// Tick advances the engine by one scheduling slot. It is the manual
+// clock used when Config.TickInterval is zero (tests, benchmarks, replay
+// harnesses); with an internal ticker it simply injects an extra slot.
+func (e *Engine) Tick() error { return e.controlCall(ctlTick) }
+
+// CheckpointNow writes a checkpoint immediately.
+func (e *Engine) CheckpointNow() error { return e.controlCall(ctlCheckpoint) }
+
+// Drain stops intake (Submit fails with ErrDraining) and lets the engine
+// run until every pending request is decided and every stream departs,
+// at which point the loop checkpoints and exits.
+func (e *Engine) Drain() error { return e.controlCall(ctlDrain) }
+
+// Stop halts the loop immediately after a final checkpoint, without
+// waiting for in-flight streams. Shard goroutines terminate too.
+func (e *Engine) Stop() error {
+	err := e.controlCall(ctlStop)
+	if errors.Is(err, ErrStopped) {
+		err = nil
+	}
+	e.stopShards()
+	return err
+}
+
+// stopShards terminates the shard goroutines (idempotent: a second Stop
+// must not enqueue into a channel nobody drains anymore).
+func (e *Engine) stopShards() {
+	e.shardStop.Do(func() {
+		for _, sh := range e.shards {
+			done := make(chan struct{})
+			sh.cmds <- stopMsg{done: done}
+			<-done
+		}
+		close(e.shardsDone)
+	})
+}
+
+// Done is closed when the engine loop has exited (drain complete or
+// stopped).
+func (e *Engine) Done() <-chan struct{} { return e.loopDone }
+
+// Draining reports whether intake is closed.
+func (e *Engine) Draining() bool {
+	select {
+	case <-e.loopDone:
+		return true
+	default:
+	}
+	return e.metrics.drainFlag.Load()
+}
+
+// Alive reports whether the engine loop is still running.
+func (e *Engine) Alive() bool {
+	select {
+	case <-e.loopDone:
+		return false
+	default:
+		return true
+	}
+}
+
+// Ready reports scheduling liveness: the loop is running, intake is
+// open, and — when an internal ticker drives the clock — a slot executed
+// within the last three tick intervals.
+func (e *Engine) Ready() bool {
+	if !e.Alive() || e.Draining() {
+		return false
+	}
+	if e.cfg.TickInterval <= 0 {
+		return true
+	}
+	last := e.metrics.LastTickNano.Load()
+	if last == 0 {
+		return false
+	}
+	return time.Since(time.Unix(0, last)) < 3*e.cfg.TickInterval
+}
+
+// controlCall sends a control message and waits for the loop's reply.
+func (e *Engine) controlCall(kind controlKind) error {
+	msg := controlMsg{kind: kind, reply: make(chan error, 1)}
+	select {
+	case e.control <- msg:
+	case <-e.loopDone:
+		return ErrStopped
+	}
+	select {
+	case err := <-msg.reply:
+		return err
+	case <-e.loopDone:
+		return ErrStopped
+	}
+}
+
+// loop is the engine's single-writer core: it owns the planner, the
+// pending queue, and the live-request table, and it is the only
+// goroutine that advances the scheduler and its bandit.
+func (e *Engine) loop() {
+	defer close(e.loopDone)
+
+	var tickC <-chan time.Time
+	if e.cfg.TickInterval > 0 {
+		ticker := time.NewTicker(e.cfg.TickInterval)
+		defer ticker.Stop()
+		tickC = ticker.C
+	}
+
+	for {
+		select {
+		case msg := <-e.intake:
+			msg.reply <- e.handleIntake(msg.spec)
+		case <-tickC:
+			e.runSlot()
+			if e.drainComplete() {
+				return
+			}
+		case msg := <-e.control:
+			switch msg.kind {
+			case ctlTick:
+				e.runSlot()
+				msg.reply <- nil
+				if e.drainComplete() {
+					return
+				}
+			case ctlCheckpoint:
+				msg.reply <- e.checkpoint()
+			case ctlDrain:
+				e.drain = true
+				e.metrics.drainFlag.Store(true)
+				msg.reply <- nil
+				if e.drainComplete() {
+					return
+				}
+			case ctlStop:
+				if err := e.checkpoint(); err != nil {
+					e.cfg.Logf("arserved: final checkpoint failed: %v", err)
+				}
+				msg.reply <- nil
+				return
+			}
+		}
+	}
+}
+
+// drainComplete checkpoints and reports true once a draining engine has
+// no work left.
+func (e *Engine) drainComplete() bool {
+	if !e.drain || len(e.pending) > 0 || e.planner.NumRunning() > 0 {
+		return false
+	}
+	if err := e.checkpoint(); err != nil {
+		e.cfg.Logf("arserved: drain checkpoint failed: %v", err)
+	}
+	return true
+}
+
+// handleIntake admits one request into the pending queue (loop goroutine
+// only).
+func (e *Engine) handleIntake(spec RequestSpec) intakeReply {
+	if e.drain {
+		e.metrics.Rejected.Inc()
+		return intakeReply{err: ErrDraining}
+	}
+	internal := len(e.planner.Requests())
+	r, err := e.buildRequest(internal, e.slot, spec)
+	if err != nil {
+		e.metrics.Rejected.Inc()
+		return intakeReply{err: err}
+	}
+	if err := e.planner.Append(r); err != nil {
+		e.metrics.Rejected.Inc()
+		return intakeReply{err: err}
+	}
+	ext := e.nextExt
+	e.nextExt++
+	e.res.Decisions = append(e.res.Decisions, core.Decision{RequestID: internal, Station: -1})
+	e.pending = append(e.pending, internal)
+	e.live[internal] = &liveEntry{ext: ext, spec: spec, arrival: e.slot, running: false}
+	e.metrics.Submitted.Inc()
+	e.metrics.PendingDepth.Store(int64(len(e.pending)))
+	e.shardEvent(requestEvent{id: ext, kind: evSubmitted, slot: e.slot})
+	return intakeReply{id: ext, slot: e.slot}
+}
+
+// shardEvent publishes one event to the owning shard (loop goroutine
+// only; shards drain fast, so a blocking send is fine).
+func (e *Engine) shardEvent(ev requestEvent) {
+	sh := e.shards[int(ev.id)%len(e.shards)]
+	sh.cmds <- slotMsg{events: []requestEvent{ev}}
+}
+
+// runSlot executes one scheduling slot end to end (loop goroutine only).
+func (e *Engine) runSlot() {
+	t := e.slot
+	depth := len(e.pending)
+	start := time.Now()
+	pending, rep, err := e.planner.Step(e.sched, e.res, t, e.pending)
+	durMS := float64(time.Since(start)) / float64(time.Millisecond)
+	e.pending = pending
+	if err != nil {
+		// A scheduler failure leaves this slot unscheduled; the requests
+		// stay pending and the next slot retries.
+		e.metrics.SlotErrors.Inc()
+		e.cfg.Logf("arserved: slot %d scheduler error: %v", t, err)
+	}
+
+	// Fold the slot report into metrics and shard events.
+	events := make(map[int][]requestEvent)
+	push := func(ev requestEvent) {
+		s := int(ev.id) % len(e.shards)
+		events[s] = append(events[s], ev)
+	}
+	for _, j := range rep.Departed {
+		if le, ok := e.live[j]; ok {
+			push(requestEvent{id: le.ext, kind: evCompleted, slot: t})
+			delete(e.live, j)
+			e.settled++
+		}
+		e.metrics.Departed.Inc()
+	}
+	for _, j := range rep.Expired {
+		if le, ok := e.live[j]; ok {
+			push(requestEvent{id: le.ext, kind: evExpired, slot: t})
+			delete(e.live, j)
+			e.settled++
+		}
+		e.metrics.Expired.Inc()
+	}
+	served := make(map[int]bool, len(rep.Served))
+	for _, j := range rep.Served {
+		served[j] = true
+	}
+	for _, j := range rep.Admitted {
+		e.metrics.Admitted.Inc()
+		le, ok := e.live[j]
+		if !ok {
+			continue
+		}
+		d := e.res.Decisions[j]
+		if served[j] {
+			le.running = true
+			push(requestEvent{id: le.ext, kind: evServing, slot: t, station: d.Station, reward: d.Reward, latencyMS: d.LatencyMS})
+			e.metrics.Served.Inc()
+		} else {
+			push(requestEvent{id: le.ext, kind: evEvicted, slot: t, station: d.Station})
+			delete(e.live, j)
+			e.settled++
+			e.metrics.Evicted.Inc()
+		}
+	}
+	e.metrics.Reward.Add(rep.Reward)
+	e.metrics.SlotDuration.Observe(durMS)
+	e.metrics.Ticks.Inc()
+	e.metrics.PendingDepth.Store(int64(len(e.pending)))
+	e.metrics.ActiveStreams.Store(int64(e.planner.NumRunning()))
+	e.metrics.LastTickNano.Store(time.Now().UnixNano())
+
+	// Publish per-station occupancy and the request events to the shards.
+	used := e.planner.Used()
+	for s, sh := range e.shards {
+		var su []stationUsed
+		for i := s; i < len(used); i += len(e.shards) {
+			su = append(su, stationUsed{station: i, usedMHz: used[i]})
+		}
+		sh.cmds <- slotMsg{used: su, events: events[s]}
+	}
+
+	// Per-slot trace line, format-compatible with arsim -trace.
+	if e.cfg.TraceWriter != nil {
+		total := e.cfg.Net.TotalCapacity()
+		sumUsed := 0.0
+		for _, u := range used {
+			sumUsed += u
+		}
+		line := fmt.Sprintf("slot %4d  pending %3d  admitted %3d  utilization %5.1f%%",
+			t, depth, len(rep.Admitted), 100*sumUsed/total)
+		if d, ok := e.sched.(*sim.DynamicRR); ok && d.Bandit() != nil {
+			if best, ok := d.Bandit().Policy().(interface{ BestArm() int }); ok {
+				line += fmt.Sprintf("  threshold %4.0f MHz", d.Bandit().Value(best.BestArm()))
+			}
+		}
+		fmt.Fprintln(e.cfg.TraceWriter, line)
+	}
+
+	e.slot++
+	e.metrics.CurrentSlot.Store(int64(e.slot))
+
+	if e.settled > e.cfg.CompactAfter {
+		if err := e.compact(); err != nil {
+			e.cfg.Logf("arserved: compaction failed (continuing uncompacted): %v", err)
+		}
+	}
+	if e.cfg.CheckpointPath != "" && e.slot%e.cfg.CheckpointEvery == 0 {
+		if err := e.checkpoint(); err != nil {
+			e.cfg.Logf("arserved: checkpoint failed: %v", err)
+		}
+	}
+}
+
+// snapshotState captures the live set as a checkpoint (loop goroutine
+// only). It is the shared substrate of disk checkpoints and in-memory
+// compaction.
+func (e *Engine) snapshotState() (*Checkpoint, error) {
+	ck := &Checkpoint{
+		Version:        checkpointVersion,
+		Slot:           e.slot,
+		NextExternalID: e.nextExt,
+		Scheduler:      e.cfg.SchedulerName,
+		Totals:         e.metrics.totals(),
+	}
+	if d, ok := e.sched.(*sim.DynamicRR); ok && d.Bandit() != nil {
+		snap, err := d.Bandit().Snapshot()
+		if err == nil {
+			ck.Bandit = snap
+		} else if !errors.Is(err, bandit.ErrUnsupportedSnapshot) {
+			return nil, err
+		}
+	}
+	for _, le := range e.live {
+		ck.Requests = append(ck.Requests, CheckpointRequest{
+			ExternalID:  le.ext,
+			ArrivalSlot: le.arrival,
+			Running:     le.running,
+			Spec:        le.spec,
+		})
+	}
+	sort.Slice(ck.Requests, func(a, b int) bool { return ck.Requests[a].ExternalID < ck.Requests[b].ExternalID })
+	for _, s := range e.planner.SnapshotRunning() {
+		le, ok := e.live[s.Request]
+		if !ok {
+			// A stream whose bookkeeping entry vanished would leak; fail
+			// loudly instead of checkpointing an unrecoverable state.
+			return nil, fmt.Errorf("serve: running request %d missing from live table", s.Request)
+		}
+		s.Request = int(le.ext)
+		ck.Running = append(ck.Running, s)
+	}
+	return ck, nil
+}
+
+// checkpoint writes the current state to disk (loop goroutine only).
+func (e *Engine) checkpoint() error {
+	if e.cfg.CheckpointPath == "" {
+		return nil
+	}
+	ck, err := e.snapshotState()
+	if err != nil {
+		return err
+	}
+	if err := WriteCheckpoint(e.cfg.CheckpointPath, ck); err != nil {
+		return err
+	}
+	e.metrics.Checkpoints.Inc()
+	return nil
+}
+
+// compact rebuilds the planner from the live set, dropping the settled
+// backlog so a long-running daemon's memory stays bounded by its live
+// request count rather than its lifetime request count.
+func (e *Engine) compact() error {
+	ck, err := e.snapshotState()
+	if err != nil {
+		return err
+	}
+	before := len(e.planner.Requests())
+	if err := e.install(ck); err != nil {
+		return err
+	}
+	e.cfg.Logf("arserved: compacted planner %d -> %d requests", before, len(e.planner.Requests()))
+	return nil
+}

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+)
+
+// submitResponse is the body of a successful POST /v1/requests.
+type submitResponse struct {
+	ID    uint64 `json:"id"`
+	Slot  int    `json:"slot"`
+	State string `json:"state"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler builds the daemon's HTTP API around an engine:
+//
+//	POST /v1/requests      submit a RequestSpec, 202 + {id, slot, state}
+//	GET  /v1/requests/{id} request status from the owning shard
+//	GET  /metrics          Prometheus text exposition
+//	GET  /healthz          200 while the engine loop is alive
+//	GET  /readyz           200 while ticking and accepting intake
+func Handler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/requests", func(w http.ResponseWriter, r *http.Request) {
+		var spec RequestSpec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+			return
+		}
+		id, slot, err := e.Submit(spec)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusAccepted, submitResponse{ID: id, Slot: slot, State: StatePending})
+		case errors.Is(err, ErrDraining):
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		case errors.Is(err, ErrStopped):
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		case errors.Is(err, ErrBadSpec):
+			writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		}
+	})
+
+	mux.HandleFunc("GET /v1/requests/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request id"})
+			return
+		}
+		rec, ok, err := e.Status(id)
+		if err != nil {
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+			return
+		}
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown request"})
+			return
+		}
+		writeJSON(w, http.StatusOK, rec)
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		hits, misses := e.WarmStats()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = e.Metrics().WriteProm(w, hits, misses, e.Gauges())
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if e.Alive() {
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte("ok\n"))
+			return
+		}
+		http.Error(w, "engine stopped", http.StatusServiceUnavailable)
+	})
+
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if e.Ready() {
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte("ready\n"))
+			return
+		}
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// newTestServer boots a manual-tick engine behind httptest.
+func newTestServer(t *testing.T) (*Engine, *httptest.Server) {
+	t.Helper()
+	e, err := New(Config{Net: testNetwork(t, 4), Rng: rand.New(rand.NewSource(5))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	srv := httptest.NewServer(Handler(e))
+	t.Cleanup(func() {
+		srv.Close()
+		_ = e.Stop()
+	})
+	return e, srv
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestHTTPSubmitAndStatus walks the JSON API end to end: submit, poll
+// status through a tick, scrape metrics.
+func TestHTTPSubmitAndStatus(t *testing.T) {
+	e, srv := newTestServer(t)
+
+	resp, body := postJSON(t, srv.URL+"/v1/requests", RequestSpec{AccessStation: 1})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, body)
+	}
+	var sub submitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.State != StatePending {
+		t.Fatalf("submitted state %q", sub.State)
+	}
+
+	resp, body = get(t, fmt.Sprintf("%s/v1/requests/%d", srv.URL, sub.ID))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status lookup %d: %s", resp.StatusCode, body)
+	}
+	var rec RequestRecord
+	if err := json.Unmarshal(body, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.ID != sub.ID || rec.State != StatePending {
+		t.Fatalf("record %+v", rec)
+	}
+
+	if err := e.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = get(t, fmt.Sprintf("%s/v1/requests/%d", srv.URL, sub.ID))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status lookup %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != StateServing && rec.State != StateEvicted {
+		t.Fatalf("post-tick state %q, want a decided state", rec.State)
+	}
+
+	resp, _ = get(t, srv.URL+"/v1/requests/999999")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id -> %d, want 404", resp.StatusCode)
+	}
+	resp, _ = get(t, srv.URL+"/v1/requests/not-a-number")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad id -> %d, want 400", resp.StatusCode)
+	}
+
+	resp, body = get(t, srv.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"arserved_requests_total{result=\"submitted\"} 1",
+		"arserved_ticks_total 1",
+		"arserved_station_capacity_mhz{station=\"0\"}",
+		"arserved_slot_duration_ms_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestHTTPErrorPaths covers the non-2xx API surface.
+func TestHTTPErrorPaths(t *testing.T) {
+	e, srv := newTestServer(t)
+
+	resp, _ := postJSON(t, srv.URL+"/v1/requests", RequestSpec{AccessStation: 77})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bad station -> %d, want 422", resp.StatusCode)
+	}
+	resp, err := http.Post(srv.URL+"/v1/requests", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body -> %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/v1/requests", "application/json", strings.NewReader(`{"unknownField": 3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field -> %d, want 400", resp.StatusCode)
+	}
+
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = postJSON(t, srv.URL+"/v1/requests", RequestSpec{AccessStation: 0})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining -> %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestHealthEndpoints checks liveness and readiness gating.
+func TestHealthEndpoints(t *testing.T) {
+	e, srv := newTestServer(t)
+
+	resp, _ := get(t, srv.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d", resp.StatusCode)
+	}
+	resp, _ = get(t, srv.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz %d", resp.StatusCode)
+	}
+
+	// Draining with work still in flight: alive but not ready. (A drain
+	// with nothing pending or running exits the loop immediately.)
+	if _, _, err := e.Submit(RequestSpec{AccessStation: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = get(t, srv.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining %d", resp.StatusCode)
+	}
+	resp, _ = get(t, srv.URL+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining %d, want 503", resp.StatusCode)
+	}
+
+	// Stopped: neither.
+	if err := e.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = get(t, srv.URL+"/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after stop %d, want 503", resp.StatusCode)
+	}
+}

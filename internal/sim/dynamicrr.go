@@ -118,6 +118,10 @@ func (d *DynamicRR) Bandit() *bandit.Lipschitz { return d.lip }
 // Learner exposes the active threshold learner.
 func (d *DynamicRR) Learner() ThresholdLearner { return d.learner }
 
+// Warm exposes the scheduler's LP warm-start cache; its Stats feed the
+// serving daemon's warm-start hit-rate metric.
+func (d *DynamicRR) Warm() *core.WarmCache { return d.warm }
+
 // Schedule implements Scheduler (Algorithm 3 steps 3-12).
 func (d *DynamicRR) Schedule(eng *Engine, res *core.Result, t int, pending []int) ([]int, error) {
 	arm, cth := d.learner.SelectValue()

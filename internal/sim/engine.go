@@ -62,7 +62,10 @@ type running struct {
 }
 
 // Engine drives one simulation run. Create with NewEngine, then Run. An
-// Engine is single-use: Run may be called once.
+// Engine is single-use: Run may be called once. Alternatively, create an
+// open-ended engine with NewLiveEngine and drive it slot by slot with
+// Step — the serving daemon's mode of operation. Run and Step are
+// mutually exclusive on one engine.
 type Engine struct {
 	net   *mec.Network
 	reqs  []*mec.Request
@@ -126,6 +129,50 @@ func NewEngine(n *mec.Network, reqs []*mec.Request, rng *rand.Rand, cfg Config) 
 		expected: make([]float64, n.NumStations()),
 		procMS:   make([]float64, n.NumStations()),
 	}, nil
+}
+
+// NewLiveEngine builds an open-ended engine with no fixed horizon and no
+// pre-known workload: requests are appended as they arrive (Append) and
+// time advances one Step call at a time. The caller owns the pending
+// queue and the Result, both of which grow with the request stream.
+func NewLiveEngine(n *mec.Network, rng *rand.Rand, slotLengthMS float64) (*Engine, error) {
+	if n == nil {
+		return nil, core.ErrNilNetwork
+	}
+	if slotLengthMS == 0 {
+		slotLengthMS = mec.DefaultSlotLengthMS
+	}
+	return &Engine{
+		net:      n,
+		rng:      rng,
+		slotL:    slotLengthMS,
+		used:     make([]float64, n.NumStations()),
+		expected: make([]float64, n.NumStations()),
+		procMS:   make([]float64, n.NumStations()),
+	}, nil
+}
+
+// Append adds a request to a live engine's workload. The request must
+// carry the next dense ID (len(Requests())) and a non-decreasing arrival
+// slot, the same invariants NewEngine checks for batch workloads.
+func (e *Engine) Append(r *mec.Request) error {
+	if r == nil {
+		return fmt.Errorf("sim: nil request")
+	}
+	if r.ID != len(e.reqs) {
+		return fmt.Errorf("sim: appended request has ID %d, want %d", r.ID, len(e.reqs))
+	}
+	if n := len(e.reqs); n > 0 && r.ArrivalSlot < e.reqs[n-1].ArrivalSlot {
+		return fmt.Errorf("sim: appended request arrives at slot %d before slot %d", r.ArrivalSlot, e.reqs[n-1].ArrivalSlot)
+	}
+	if r.AccessStation < 0 || r.AccessStation >= e.net.NumStations() {
+		return fmt.Errorf("sim: appended request access station %d out of range", r.AccessStation)
+	}
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	e.reqs = append(e.reqs, r)
+	return nil
 }
 
 // Net returns the network under simulation.
@@ -197,10 +244,8 @@ func (e *Engine) Run(sched Scheduler) (*core.Result, error) {
 	e.slotRewards = make([]float64, e.horizon)
 
 	for t := 0; t < e.horizon; t++ {
-		// Departures first: instances destroyed at the start of endSlot.
-		e.release(t)
-
-		// Arrivals.
+		// Arrivals. (Step releases departures itself; release and arrival
+		// collection commute because scheduling sees both.)
 		for next < len(e.reqs) && e.reqs[next].ArrivalSlot <= t {
 			if e.reqs[next].ArrivalSlot == t {
 				pending = append(pending, next)
@@ -208,46 +253,116 @@ func (e *Engine) Run(sched Scheduler) (*core.Result, error) {
 			next++
 		}
 
-		// Expire pending requests that can no longer meet their deadline
-		// anywhere, even if scheduled right now (they remain rejected).
-		pending = e.expire(pending, t)
-		if len(pending) == 0 {
-			continue
-		}
-
-		admitted, err := sched.Schedule(e, res, t, pending)
+		var rep SlotReport
+		var err error
+		pending, rep, err = e.Step(sched, res, t, pending)
 		if err != nil {
 			return nil, err
 		}
-		slotReward := e.settle(res, t, admitted, sched.UncertaintyAware())
-		e.slotRewards[t] = slotReward
-		if fb, ok := sched.(FeedbackScheduler); ok {
-			fb.Feedback(t, slotReward)
-		}
-
-		// Remove decided requests from the pending queue.
-		keep := pending[:0]
-		for _, j := range pending {
-			if !res.Decisions[j].Admitted {
-				keep = append(keep, j)
-			}
-		}
-		pending = keep
+		e.slotRewards[t] = rep.Reward
 	}
 
 	res.Runtime = time.Since(start)
 	return res, nil
 }
 
+// SlotReport summarizes what one Step did: which requests departed,
+// expired, were admitted, and survived settlement, plus the realized
+// reward credited to the slot. The serving daemon turns these into
+// request-status events and metrics.
+type SlotReport struct {
+	// Slot is the time-slot index the report covers.
+	Slot int
+	// Departed lists requests whose streams ended at this slot.
+	Departed []int
+	// Expired lists pending requests dropped because their deadline became
+	// unreachable on every station (they stay rejected).
+	Expired []int
+	// Admitted lists requests the scheduler admitted this slot, including
+	// any that were evicted at realization.
+	Admitted []int
+	// Served lists the admitted requests that survived settlement and are
+	// now running streams.
+	Served []int
+	// Reward is the realized reward credited to this slot.
+	Reward float64
+}
+
+// Step advances the engine by one scheduling slot: departures are
+// released, unreachable pending requests expire, the scheduler runs over
+// the survivors, the slot settles (rates realize, overloads evict,
+// rewards credit), and learning feedback is delivered. It returns the
+// updated pending queue (decided requests removed) and a report of the
+// slot. The caller appends arrivals to pending before calling. Slots must
+// be stepped in increasing order.
+func (e *Engine) Step(sched Scheduler, res *core.Result, t int, pending []int) ([]int, SlotReport, error) {
+	if sched == nil {
+		return pending, SlotReport{Slot: t}, ErrNilScheduler
+	}
+	rep := SlotReport{Slot: t}
+
+	// Departures first: instances destroyed at the start of endSlot.
+	rep.Departed = e.release(t)
+
+	// Expire pending requests that can no longer meet their deadline
+	// anywhere, even if scheduled right now (they remain rejected).
+	before := append([]int(nil), pending...)
+	pending = e.expire(pending, t)
+	if len(pending) < len(before) {
+		kept := make(map[int]bool, len(pending))
+		for _, j := range pending {
+			kept[j] = true
+		}
+		for _, j := range before {
+			if !kept[j] {
+				rep.Expired = append(rep.Expired, j)
+			}
+		}
+	}
+	if len(pending) == 0 {
+		return pending, rep, nil
+	}
+
+	admitted, err := sched.Schedule(e, res, t, pending)
+	if err != nil {
+		return pending, rep, err
+	}
+	rep.Reward = e.settle(res, t, admitted, sched.UncertaintyAware())
+	if fb, ok := sched.(FeedbackScheduler); ok {
+		fb.Feedback(t, rep.Reward)
+	}
+	for _, j := range admitted {
+		if !res.Decisions[j].Admitted {
+			continue
+		}
+		rep.Admitted = append(rep.Admitted, j)
+		if res.Decisions[j].Served {
+			rep.Served = append(rep.Served, j)
+		}
+	}
+
+	// Remove decided requests from the pending queue.
+	keep := pending[:0]
+	for _, j := range pending {
+		if !res.Decisions[j].Admitted {
+			keep = append(keep, j)
+		}
+	}
+	return keep, rep, nil
+}
+
 // release frees the resources of requests departing at slot t by undoing
-// exactly the deltas recorded at admission.
-func (e *Engine) release(t int) {
+// exactly the deltas recorded at admission. It returns the ids of the
+// departed requests (nil when none depart).
+func (e *Engine) release(t int) []int {
+	var departed []int
 	keep := e.active[:0]
 	for _, ru := range e.active {
 		if ru.endSlot > t {
 			keep = append(keep, ru)
 			continue
 		}
+		departed = append(departed, ru.req)
 		for st, mhz := range ru.shares {
 			e.used[st] -= mhz
 			if e.used[st] < 0 {
@@ -266,6 +381,7 @@ func (e *Engine) release(t int) {
 		}
 	}
 	e.active = keep
+	return departed
 }
 
 // expire drops pending requests whose deadline is unreachable: even if

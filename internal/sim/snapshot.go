@@ -1,0 +1,106 @@
+package sim
+
+import "fmt"
+
+// RunningSnapshot serializes one in-service stream's exact ledger deltas:
+// everything release needs to undo the admission at departure. The
+// serving daemon persists these so a restarted process resumes with the
+// same streams occupying the same capacity.
+type RunningSnapshot struct {
+	// Request is the id of the running request within its engine.
+	Request int `json:"request"`
+	// EndSlot is the slot at whose start the stream departs.
+	EndSlot int `json:"endSlot"`
+	// Shares maps station -> realized MHz held there.
+	Shares map[int]float64 `json:"shares"`
+	// ExpShares maps station -> expected MHz in the oblivious view.
+	ExpShares map[int]float64 `json:"expShares,omitempty"`
+	// ProcStation and ProcMS record the backlog-proxy contribution.
+	ProcStation int     `json:"procStation"`
+	ProcMS      float64 `json:"procMS,omitempty"`
+}
+
+// NumRunning returns how many admitted streams currently occupy service
+// instances.
+func (e *Engine) NumRunning() int { return len(e.active) }
+
+// SnapshotRunning captures the engine's in-service streams. The maps in
+// the snapshots are copies; mutating them does not perturb the engine.
+func (e *Engine) SnapshotRunning() []RunningSnapshot {
+	out := make([]RunningSnapshot, 0, len(e.active))
+	for _, ru := range e.active {
+		s := RunningSnapshot{
+			Request:     ru.req,
+			EndSlot:     ru.endSlot,
+			Shares:      copyShares(ru.shares),
+			ExpShares:   copyShares(ru.expShares),
+			ProcStation: ru.procStation,
+			ProcMS:      ru.procMS,
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// RestoreRunning re-registers previously snapshotted streams into a fresh
+// engine, rebuilding the realized, expected, and backlog ledgers from
+// their recorded deltas. It must be called before the first Step and at
+// most once; station indices are validated against the network.
+func (e *Engine) RestoreRunning(snaps []RunningSnapshot) error {
+	if len(e.active) > 0 {
+		return fmt.Errorf("sim: RestoreRunning on an engine with %d active streams", len(e.active))
+	}
+	n := e.net.NumStations()
+	for _, s := range snaps {
+		if s.ProcStation < 0 || s.ProcStation >= n {
+			return fmt.Errorf("sim: snapshot request %d: proc station %d out of range", s.Request, s.ProcStation)
+		}
+		for st := range s.Shares {
+			if st < 0 || st >= n {
+				return fmt.Errorf("sim: snapshot request %d: station %d out of range", s.Request, st)
+			}
+		}
+		for st := range s.ExpShares {
+			if st < 0 || st >= n {
+				return fmt.Errorf("sim: snapshot request %d: station %d out of range", s.Request, st)
+			}
+		}
+	}
+	for _, s := range snaps {
+		ru := running{
+			req:         s.Request,
+			endSlot:     s.EndSlot,
+			shares:      copyShares(s.Shares),
+			expShares:   copyShares(s.ExpShares),
+			procStation: s.ProcStation,
+			procMS:      s.ProcMS,
+		}
+		if ru.shares == nil {
+			ru.shares = map[int]float64{}
+		}
+		if ru.expShares == nil {
+			ru.expShares = map[int]float64{}
+		}
+		for st, mhz := range ru.shares {
+			e.used[st] += mhz
+		}
+		for st, mhz := range ru.expShares {
+			e.expected[st] += mhz
+		}
+		e.procMS[ru.procStation] += ru.procMS
+		e.active = append(e.active, ru)
+	}
+	return nil
+}
+
+// copyShares clones a station->MHz map (nil stays nil).
+func copyShares(m map[int]float64) map[int]float64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[int]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

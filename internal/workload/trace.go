@@ -1,7 +1,9 @@
 package workload
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 
 	"mecoffload/internal/dist"
@@ -51,6 +53,59 @@ func GenerateTrace(seconds int, rng *rand.Rand) (*FrameTrace, error) {
 		fps[i] = level
 	}
 	return &FrameTrace{FPS: fps, FrameKb: TraceFrameKb}, nil
+}
+
+// traceJSON is the serialized form of a FrameTrace. The format is the
+// natural JSON of the struct, so hand-written or externally captured
+// traces load too.
+type traceJSON struct {
+	FPS     []int   `json:"fps"`
+	FrameKb float64 `json:"frameKb"`
+}
+
+// Validate checks a trace is usable: non-empty, positive frame size,
+// positive per-second frame counts.
+func (t *FrameTrace) Validate() error {
+	if len(t.FPS) == 0 {
+		return fmt.Errorf("%w: empty trace", ErrBadConfig)
+	}
+	if t.FrameKb <= 0 {
+		return fmt.Errorf("%w: frame size %v Kb", ErrBadConfig, t.FrameKb)
+	}
+	for i, f := range t.FPS {
+		if f <= 0 {
+			return fmt.Errorf("%w: fps[%d] = %d", ErrBadConfig, i, f)
+		}
+	}
+	return nil
+}
+
+// WriteJSON serializes the trace.
+func (t *FrameTrace) WriteJSON(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceJSON{FPS: t.FPS, FrameKb: t.FrameKb})
+}
+
+// ReadTrace deserializes and validates a trace written by WriteJSON (or
+// captured externally in the same shape). A missing frameKb field takes
+// the Braud-trace default.
+func ReadTrace(r io.Reader) (*FrameTrace, error) {
+	var tj traceJSON
+	if err := json.NewDecoder(r).Decode(&tj); err != nil {
+		return nil, fmt.Errorf("workload: decoding trace: %w", err)
+	}
+	if tj.FrameKb == 0 {
+		tj.FrameKb = TraceFrameKb
+	}
+	t := &FrameTrace{FPS: tj.FPS, FrameKb: tj.FrameKb}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
 }
 
 // RawRatesMBs returns the per-second raw camera data rates in MB/s

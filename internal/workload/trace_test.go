@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestTraceRoundTrip saves a generated trace and loads it back: the
+// reconstructed trace must be identical, down to the derived rates.
+func TestTraceRoundTrip(t *testing.T) {
+	tr, err := GenerateTrace(120, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+	if !reflect.DeepEqual(got.RawRatesMBs(), tr.RawRatesMBs()) {
+		t.Fatal("derived raw rates diverge after round-trip")
+	}
+	if !reflect.DeepEqual(got.ScaleToRate(30, 50), tr.ScaleToRate(30, 50)) {
+		t.Fatal("scaled rates diverge after round-trip")
+	}
+}
+
+// TestReadTraceDefaultsAndValidation covers the defaulting and rejection
+// paths of the loader.
+func TestReadTraceDefaultsAndValidation(t *testing.T) {
+	got, err := ReadTrace(strings.NewReader(`{"fps": [90, 95, 100]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FrameKb != TraceFrameKb {
+		t.Fatalf("missing frameKb defaulted to %v, want %v", got.FrameKb, TraceFrameKb)
+	}
+
+	cases := []string{
+		`{`,                               // malformed JSON
+		`{"fps": []}`,                     // empty
+		`{"fps": [90, 0]}`,                // non-positive fps
+		`{"fps": [90], "frameKb": -64}`,   // negative frame size
+		`{"fps": [90, -5], "frameKb": 1}`, // negative fps
+	}
+	for _, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c)); err == nil {
+			t.Errorf("trace %q accepted", c)
+		}
+	}
+
+	bad := &FrameTrace{FPS: nil, FrameKb: 64}
+	if err := bad.WriteJSON(&bytes.Buffer{}); err == nil {
+		t.Fatal("empty trace written without error")
+	}
+}
