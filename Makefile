@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build test race bench bench-smoke fuzz fmt vet clean
+.PHONY: verify build test race oracle bench bench-smoke fuzz fmt vet clean
 
 ## verify: tier-1 gate — build everything, vet, gofmt check, full tests.
 verify: build vet fmt-check test
@@ -17,7 +17,19 @@ test:
 ## race: concurrency-sensitive packages under the race detector
 ## (shortened experiment profile, same as the CI race job).
 race:
-	$(GO) test -race -short ./internal/experiment/... ./internal/sim/... ./internal/serve/... ./cmd/arserved/...
+	$(GO) test -race -short ./internal/experiment/... ./internal/sim/... ./internal/serve/... ./internal/oracle/... ./cmd/arserved/...
+
+## oracle: differential oracle suite plus the mutation smoke check,
+## mirroring the CI oracle job — the oraclemutant build must FAIL the
+## suite, proving the oracle still catches seeded capacity bugs.
+oracle:
+	MEC_ORACLE=1 $(GO) test -count=1 ./internal/oracle/...
+	$(GO) build -tags oraclemutant ./...
+	@if $(GO) test -count=1 -tags oraclemutant \
+		-run 'TestHeuRespectsCapacityAndLatency|TestDynamicRRInvariantsOnline' \
+		./internal/oracle/ >/dev/null 2>&1; then \
+		echo "seeded capacity mutant passed the oracle suite" >&2; exit 1; fi
+	@echo "oracle: mutant caught"
 
 ## bench: the hot-path benchmarks, timed (LP warm-start contrast included).
 bench:
@@ -31,7 +43,9 @@ bench-smoke:
 ## fuzz: seed-corpus regression then a short fuzzing budget.
 fuzz:
 	$(GO) test -run 'FuzzParse' ./internal/lp/
+	$(GO) test -run 'FuzzOracleLP' ./internal/oracle/
 	$(GO) test -fuzz 'FuzzParse' -fuzztime 30s ./internal/lp/
+	$(GO) test -fuzz 'FuzzOracleLP' -fuzztime 30s ./internal/oracle/
 
 fmt:
 	gofmt -w .

@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"mecoffload/internal/mec"
+	"mecoffload/internal/oracle"
 	"mecoffload/internal/serve"
+	"mecoffload/internal/sim"
 )
 
 // BenchmarkServeSlot measures one daemon scheduling slot under steady
@@ -14,11 +16,22 @@ import (
 // warm-started LP-PT, settlement, and the shard fan-out — the loop a
 // production arserved runs every tick interval.
 func BenchmarkServeSlot(b *testing.B) {
+	benchServeSlot(b, nil)
+}
+
+// BenchmarkServeSlotOracle is the same loop with the oracle's per-slot
+// invariant checker installed (what MEC_ORACLE=1 turns on in production);
+// its delta against BenchmarkServeSlot is the cost of runtime checking.
+func BenchmarkServeSlotOracle(b *testing.B) {
+	benchServeSlot(b, oracle.EngineChecker())
+}
+
+func benchServeSlot(b *testing.B, check sim.StepChecker) {
 	net, err := mec.RandomNetwork(20, 3000, 3600, rand.New(rand.NewSource(17)))
 	if err != nil {
 		b.Fatal(err)
 	}
-	eng, err := serve.New(serve.Config{Net: net, Rng: rand.New(rand.NewSource(18))})
+	eng, err := serve.New(serve.Config{Net: net, Rng: rand.New(rand.NewSource(18)), StepChecker: check})
 	if err != nil {
 		b.Fatal(err)
 	}

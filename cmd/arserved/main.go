@@ -18,6 +18,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -31,9 +32,11 @@ import (
 	"time"
 
 	"mecoffload/internal/mec"
+	"mecoffload/internal/oracle"
 	"mecoffload/internal/rnd"
 	"mecoffload/internal/scenario"
 	"mecoffload/internal/serve"
+	"mecoffload/internal/sim"
 	"mecoffload/internal/workload"
 )
 
@@ -61,6 +64,7 @@ func run(args []string, out io.Writer) error {
 		drainAfter = fs.Duration("drain-timeout", 10*time.Second, "max wait for in-flight streams on shutdown")
 		replay     = fs.String("replay", "", "replay a workload trace JSON as a load generator instead of serving HTTP")
 		replayRate = fs.Int("requests-per-30fps", 1, "replay: requests per second per 30 fps of trace")
+		replayDump = fs.String("replay-dump", "", "replay: write per-slot admission decisions as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -108,13 +112,44 @@ func run(args []string, out io.Writer) error {
 	if *replay != "" {
 		// Replay mode keeps the manual clock (TickInterval zero): model
 		// time advances as fast as the scheduler runs.
+		var dump *oracle.ReplayDump
+		if *replayDump != "" {
+			// The observer runs on the loop goroutine; runReplay's drain
+			// waits for that goroutine to exit, so reading the dump after
+			// it returns is race-free.
+			dump = &oracle.ReplayDump{}
+			cfg.SlotObserver = func(rep sim.SlotReport) {
+				if len(rep.Admitted) > 0 {
+					dump.Slots = append(dump.Slots, oracle.SlotAdmissions{
+						Slot:     rep.Slot,
+						Admitted: append([]int(nil), rep.Admitted...),
+						Reward:   rep.Reward,
+					})
+				}
+				dump.TotalReward += rep.Reward
+			}
+		}
 		eng, err := serve.New(cfg)
 		if err != nil {
 			return err
 		}
 		eng.Start()
 		defer func() { _ = eng.Stop() }()
-		return runReplay(eng, *replay, *slotMS, *replayRate, rnd.New(*seed, "replay"), out)
+		if err := runReplay(eng, *replay, *slotMS, *replayRate, rnd.New(*seed, "replay"), out); err != nil {
+			return err
+		}
+		if dump != nil {
+			<-eng.Done()
+			dump.Submitted = int(eng.Metrics().Submitted.Load())
+			data, err := json.MarshalIndent(dump, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*replayDump, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 
 	cfg.TickInterval = *tick

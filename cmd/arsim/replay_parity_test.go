@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mecoffload/internal/mec"
+	"mecoffload/internal/oracle"
+	"mecoffload/internal/rnd"
+	"mecoffload/internal/workload"
+)
+
+func writeParityTrace(t *testing.T, seconds int) string {
+	t.Helper()
+	tr, err := workload.GenerateTrace(seconds, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestReplayMatchesGoldenOracle: arsim -replay must reproduce the
+// oracle's golden frame replay decision for decision — same topology
+// seed label, same request stream, same per-slot admissions.
+func TestReplayMatchesGoldenOracle(t *testing.T) {
+	trace := writeParityTrace(t, 4)
+	dumpPath := filepath.Join(t.TempDir(), "decisions.json")
+
+	var out strings.Builder
+	err := run([]string{
+		"-replay", trace, "-stations", "5", "-seed", "77",
+		"-requests-per-30fps", "1", "-replay-dump", dumpPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "replayed 4 trace seconds") {
+		t.Fatalf("missing replay summary:\n%s", out.String())
+	}
+
+	data, err := os.ReadFile(dumpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got oracle.ReplayDump
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.ReadTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := mec.RandomNetwork(5, 3000, 3600, rnd.New(77, "topology"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := oracle.FrameReplay(net, tr, 77, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Submitted == 0 || len(want.Slots) == 0 {
+		t.Fatalf("golden replay is vacuous: %+v", want)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("arsim -replay diverges from the golden oracle replay: %s", got.Diff(want))
+	}
+}

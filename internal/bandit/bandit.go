@@ -126,6 +126,15 @@ func (se *SuccessiveElimination) BestArm() int {
 	return best
 }
 
+// Bounds returns arm's lower and upper confidence bounds, mean ± r_t(a).
+// An unplayed arm reports (-Inf, +Inf). Invariant (checked by the oracle):
+// lcb ≤ mean ≤ ucb always.
+func (se *SuccessiveElimination) Bounds(arm int) (lcb, ucb float64) {
+	r := se.radius(arm)
+	m := se.arms[arm].mean()
+	return m - r, m + r
+}
+
 // Update implements Policy and performs the elimination sweep.
 func (se *SuccessiveElimination) Update(arm int, reward float64) {
 	se.t++

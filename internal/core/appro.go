@@ -271,7 +271,7 @@ func admitSlotBySlot(n *mec.Network, reqs []*mec.Request, pre []tentative, rng *
 				out := r.Realize(rng)
 				demand := n.RateToMHz(out.Rate)
 				switch {
-				case used[i]+demand <= n.Capacity(i):
+				case fitsWithin(used[i], demand, n.Capacity(i)):
 					used[i] += demand
 				case hooks.overflow != nil && hooks.overflow(j, i):
 					// Distributed across stations; ledgers updated by the

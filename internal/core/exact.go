@@ -141,7 +141,7 @@ func Exact(n *mec.Network, reqs []*mec.Request, rng *rand.Rand, opts ExactOption
 		d.LatencyMS = latencyOf(n, r, d.TaskStations, 0, opts.SlotLengthMS)
 		out := r.Realize(rng)
 		demand := n.RateToMHz(out.Rate)
-		if used[xv.station]+demand <= n.Capacity(xv.station) {
+		if fitsWithin(used[xv.station], demand, n.Capacity(xv.station)) {
 			used[xv.station] += demand
 		} else {
 			d.Evicted = true

@@ -102,7 +102,7 @@ func distributionPass(n *mec.Network, reqs []*mec.Request, active []int, res *Re
 			// Nearest-first keeps backhaul hops (and thus latency) low.
 			planned[ti] = -1
 			for _, st := range append([]int{r.AccessStation}, n.NeighborsByDistance(r.AccessStation)...) {
-				if n.Capacity(st)-used[st]-delta[st] < need {
+				if !fitsWithin(used[st]+delta[st], need, n.Capacity(st)) {
 					continue
 				}
 				planned[ti] = st
@@ -137,7 +137,7 @@ func distributionPass(n *mec.Network, reqs []*mec.Request, active []int, res *Re
 			realized[st] += demandShare(n, r, ti, out.Rate)
 		}
 		for st, add := range realized {
-			if used[st]+add > n.Capacity(st) {
+			if !fitsWithin(used[st], add, n.Capacity(st)) {
 				fits = false
 				break
 			}
@@ -195,11 +195,11 @@ func newOverflowSplitter(n *mec.Network, reqs []*mec.Request, res *Result, used 
 		remaining := demand
 		neighbors := n.NeighborsByDistance(station)
 		for _, k := range order {
-			if used[station]+remaining <= n.Capacity(station) {
+			if fitsWithin(used[station], remaining, n.Capacity(station)) {
 				break
 			}
 			for _, dest := range neighbors {
-				if used[dest]+delta[dest]+shares[k] > n.Capacity(dest) {
+				if !fitsWithin(used[dest]+delta[dest], shares[k], n.Capacity(dest)) {
 					continue
 				}
 				old := placement[k]
@@ -213,7 +213,7 @@ func newOverflowSplitter(n *mec.Network, reqs []*mec.Request, res *Result, used 
 				break
 			}
 		}
-		if used[station]+remaining > n.Capacity(station) {
+		if !fitsWithin(used[station], remaining, n.Capacity(station)) {
 			return false // could not shed enough; caller evicts
 		}
 		// Commit.
@@ -315,7 +315,7 @@ func migrateOneTask(n *mec.Network, r *mec.Request, d *Decision, station int, us
 		}
 		moved := demand * share
 		for _, dest := range neighbors {
-			if used[dest]+moved > n.Capacity(dest) {
+			if !fitsWithin(used[dest], moved, n.Capacity(dest)) {
 				continue
 			}
 			// Tentatively migrate and re-check the latency requirement.

@@ -1,0 +1,14 @@
+//go:build !oraclemutant
+
+package core
+
+// fitsWithin is the occupancy test every admission and migration commit
+// goes through: a station already holding used MHz can take add more iff
+// the total stays within cap. Centralized so (a) the paper's capacity
+// discipline has exactly one implementation and (b) the oraclemutant
+// build tag can break it deliberately — the CI mutation smoke check
+// compiles with that tag and requires the internal/oracle differential
+// suite to fail, proving the oracle actually guards this invariant.
+func fitsWithin(used, add, cap float64) bool {
+	return used+add <= cap
+}

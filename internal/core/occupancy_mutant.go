@@ -1,0 +1,14 @@
+//go:build oraclemutant
+
+package core
+
+// fitsWithin under the oraclemutant build tag is the seeded mutation for
+// the oracle CI job: the occupancy test accepts loads up to twice the
+// station capacity, silently breaking the capacity discipline of
+// Algorithms 1-3. The internal/oracle differential suite must catch this
+// (admitted realized load exceeding C(bs_i), admitted-but-unsettled
+// requests in the online engine); if it passes under this tag, the
+// mutation smoke check in .github/workflows/ci.yml fails the build.
+func fitsWithin(used, add, cap float64) bool {
+	return used+add <= 2*cap
+}

@@ -1,0 +1,64 @@
+package oracle
+
+import (
+	"mecoffload/internal/mec"
+)
+
+// BruteForceAssign solves ILP-RM (Section IV-A) by exhaustive enumeration
+// over the consolidated assignment space: each request is either rejected
+// or placed on one delay-feasible station, subject to the expected-demand
+// capacity constraint sum_j x_ji * E(rho_j) * C_unit <= C(bs_i), and the
+// expected reward sum is maximized. It mirrors core.Exact's model exactly
+// (including the waitSlots=0 delay filter) but shares none of its code —
+// no LP relaxation, no branch and bound — so a bound bug in either shows
+// up as an objective mismatch. Cost is (stations+1)^requests; keep
+// instances tiny. The returned assignment maps request index to station,
+// -1 meaning rejected.
+func BruteForceAssign(n *mec.Network, reqs []*mec.Request, slotLengthMS float64) (float64, []int) {
+	if slotLengthMS == 0 {
+		slotLengthMS = mec.DefaultSlotLengthMS
+	}
+	feasible := make([][]int, len(reqs))
+	for j, r := range reqs {
+		for i := 0; i < n.NumStations(); i++ {
+			if r.DelayFeasible(n, i, 0, slotLengthMS) {
+				feasible[j] = append(feasible[j], i)
+			}
+		}
+	}
+	load := make([]float64, n.NumStations())
+	assign := make([]int, len(reqs))
+	best := make([]int, len(reqs))
+	for j := range assign {
+		assign[j] = -1
+		best[j] = -1
+	}
+	bestObj := 0.0
+
+	var walk func(j int, obj float64)
+	walk = func(j int, obj float64) {
+		if j == len(reqs) {
+			if obj > bestObj {
+				bestObj = obj
+				copy(best, assign)
+			}
+			return
+		}
+		// Reject branch.
+		walk(j+1, obj)
+		r := reqs[j]
+		demand := n.RateToMHz(r.ExpectedRate())
+		for _, i := range feasible[j] {
+			if load[i]+demand > n.Capacity(i)+capacityTol {
+				continue
+			}
+			load[i] += demand
+			assign[j] = i
+			walk(j+1, obj+r.ExpectedReward())
+			assign[j] = -1
+			load[i] -= demand
+		}
+	}
+	walk(0, 0)
+	return bestObj, best
+}

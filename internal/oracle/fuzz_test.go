@@ -1,0 +1,58 @@
+package oracle
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mecoffload/internal/lp"
+)
+
+// FuzzOracleLP fuzzes the sparse-vs-dense differential: any parseable LP
+// within the screened size and magnitude envelope must drive both solvers
+// to the same status and objective. The magnitude cap keeps the dense
+// reference's absolute feasibility epsilon meaningful; size caps keep a
+// single fuzz execution fast.
+func FuzzOracleLP(f *testing.F) {
+	seeds := []string{
+		"max: 3 x + 2 y\nc1: x + y <= 4\nc2: x + 3 y <= 6\n",
+		"min: x\nlo: x >= 5\n",
+		"max: 13 a + 14 b + 12 c\nassign: a + b + c <= 1\ncap: 700 a + 800 b + 650 c <= 3200\n",
+		"min: -x\nc: -x >= -3\n",
+		"max: x + y\neq: x = 2\nc: y <= 1\n",
+		"max: x\nhi: x <= 1\nlo: x >= 2\n",
+		"max: x + y\nc: x - y <= 1\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		pp, err := lp.Parse(strings.NewReader(src))
+		if err != nil || pp.Problem == nil || pp.HasInteger {
+			return
+		}
+		p := pp.Problem
+		if p.NumVars() == 0 || p.NumVars() > 30 || p.NumConstraints() > 30 {
+			return
+		}
+		d := p.Dense()
+		for _, c := range d.Obj {
+			if math.Abs(c) > 1e4 || math.IsNaN(c) {
+				return
+			}
+		}
+		for r := range d.A {
+			if math.Abs(d.RHS[r]) > 1e4 || math.IsNaN(d.RHS[r]) {
+				return
+			}
+			for _, c := range d.A[r] {
+				if math.Abs(c) > 1e4 || math.IsNaN(c) {
+					return
+				}
+			}
+		}
+		if err := DiffDense(p, 1e-4); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,230 @@
+// Package oracle is the correctness backstop for the optimized solver and
+// scheduler paths: slow trusted reference implementations (a dense
+// textbook simplex, brute-force exact assignment, a naive single-slot
+// scheduler), differential runners comparing the production algorithms
+// against them, and a runtime invariant checker asserting the per-slot
+// conservation laws of the time-slotted model. The invariant checker
+// hooks into sim.Engine.Step via EngineChecker (the serving daemon
+// enables it with MEC_ORACLE=1); the differential runners back the
+// package's test suite, which CI runs both as-is and under the
+// oraclemutant build tag (where it must fail — see internal/core's
+// fitsWithin).
+package oracle
+
+import (
+	"fmt"
+
+	"mecoffload/internal/bandit"
+	"mecoffload/internal/core"
+	"mecoffload/internal/mec"
+	"mecoffload/internal/sim"
+)
+
+// capacityTol mirrors core's capacity slack: station loads are sums of
+// float shares, so comparisons allow this absolute tolerance in MHz.
+const capacityTol = 1e-6
+
+// ledgerTol bounds the drift allowed between the engine's incremental
+// occupancy ledger and the sum of running-stream shares recomputed from
+// scratch. Release clamps tiny float negatives to zero, so the ledger
+// drifts by at most a few ULPs per departure.
+const ledgerTol = 1e-3
+
+// State is a snapshot of everything the invariant checker inspects. Only
+// Net and UsedMHz are mandatory; nil slices skip the related checks.
+type State struct {
+	// Net is the network whose capacities bound the occupancy ledgers.
+	Net *mec.Network
+	// UsedMHz is the realized per-station occupancy ledger.
+	UsedMHz []float64
+	// ExpectedMHz is the expected per-station load of running requests.
+	ExpectedMHz []float64
+	// Decisions is the result's per-request decision table.
+	Decisions []core.Decision
+	// Running lists the in-service streams with their ledger shares.
+	Running []sim.RunningSnapshot
+	// Bandit, when set, is DynamicRR's successive-elimination policy.
+	Bandit *bandit.SuccessiveElimination
+}
+
+// Check asserts the per-slot conservation laws of Section V's model:
+//
+//   - every station's realized occupancy lies in [0, C(bs_i)] (up to
+//     float tolerance), and the expected ledger is non-negative;
+//   - the occupancy ledger equals the sum of the running streams' shares
+//     (capacity is neither leaked nor double-counted);
+//   - no request runs twice, and every running request's decision says
+//     admitted, served, and not evicted;
+//   - the bandit's confidence bounds are ordered (LCB ≤ mean ≤ UCB) and
+//     at least one arm is still active.
+//
+// A non-nil error identifies the first violated law.
+func Check(s State) error {
+	if s.Net == nil {
+		return fmt.Errorf("oracle: nil network")
+	}
+	n := s.Net.NumStations()
+	if len(s.UsedMHz) != n {
+		return fmt.Errorf("oracle: occupancy ledger has %d stations, network has %d", len(s.UsedMHz), n)
+	}
+	for i, u := range s.UsedMHz {
+		if u < -capacityTol {
+			return fmt.Errorf("oracle: station %d occupancy negative (%.6f MHz)", i, u)
+		}
+		if cap := s.Net.Capacity(i); u > cap+capacityTol {
+			return fmt.Errorf("oracle: station %d occupancy %.3f MHz exceeds capacity %.3f MHz", i, u, cap)
+		}
+	}
+	for i, u := range s.ExpectedMHz {
+		if u < -capacityTol {
+			return fmt.Errorf("oracle: station %d expected load negative (%.6f MHz)", i, u)
+		}
+	}
+	if s.Running != nil {
+		seen := make(map[int]bool, len(s.Running))
+		fromShares := make([]float64, n)
+		for _, ru := range s.Running {
+			if seen[ru.Request] {
+				return fmt.Errorf("oracle: request %d running twice", ru.Request)
+			}
+			seen[ru.Request] = true
+			for st, mhz := range ru.Shares {
+				if st < 0 || st >= n {
+					return fmt.Errorf("oracle: request %d holds share on station %d (out of range)", ru.Request, st)
+				}
+				if mhz < 0 {
+					return fmt.Errorf("oracle: request %d holds negative share %.6f MHz on station %d", ru.Request, mhz, st)
+				}
+				fromShares[st] += mhz
+			}
+			if s.Decisions != nil {
+				if ru.Request < 0 || ru.Request >= len(s.Decisions) {
+					return fmt.Errorf("oracle: running request %d outside decision table (%d entries)", ru.Request, len(s.Decisions))
+				}
+				d := s.Decisions[ru.Request]
+				if !d.Admitted || !d.Served || d.Evicted {
+					return fmt.Errorf("oracle: running request %d has decision admitted=%v served=%v evicted=%v",
+						ru.Request, d.Admitted, d.Served, d.Evicted)
+				}
+			}
+		}
+		for i := range fromShares {
+			if diff := s.UsedMHz[i] - fromShares[i]; diff > ledgerTol || diff < -ledgerTol {
+				return fmt.Errorf("oracle: station %d ledger %.6f MHz but running shares sum to %.6f MHz",
+					i, s.UsedMHz[i], fromShares[i])
+			}
+		}
+	}
+	if s.Bandit != nil {
+		if s.Bandit.NumActive() < 1 {
+			return fmt.Errorf("oracle: bandit eliminated every arm")
+		}
+		best := s.Bandit.BestArm()
+		if best < 0 || !s.Bandit.Active(best) {
+			return fmt.Errorf("oracle: bandit best arm %d is not active", best)
+		}
+		for a := 0; a < s.Bandit.NumArms(); a++ {
+			lcb, ucb := s.Bandit.Bounds(a)
+			m := s.Bandit.Mean(a)
+			if !(lcb <= m && m <= ucb) {
+				return fmt.Errorf("oracle: bandit arm %d bounds unordered: lcb=%v mean=%v ucb=%v", a, lcb, m, ucb)
+			}
+		}
+	}
+	return nil
+}
+
+// EngineChecker returns a sim.StepChecker that runs Check against the
+// engine after every slot and additionally enforces two scheduler-level
+// laws: an uncertainty-aware scheduler's admissions always settle (each
+// admitted request ends the slot served or explicitly evicted — aware
+// schedulers realize rates during admission, so settlement can never
+// surprise them), and DynamicRR's admitted set stays within the C^th
+// round-robin share rule re-derived independently by NaiveAdmissionSet.
+func EngineChecker() sim.StepChecker {
+	return func(e *sim.Engine, res *core.Result, rep sim.SlotReport, info sim.StepInfo) error {
+		st := State{
+			Net:         e.Net(),
+			UsedMHz:     e.Used(),
+			ExpectedMHz: e.ExpectedUsed(),
+			Running:     e.SnapshotRunning(),
+		}
+		if res != nil {
+			st.Decisions = res.Decisions
+		}
+		drr, isDRR := info.Sched.(*sim.DynamicRR)
+		if isDRR {
+			if lip := drr.Bandit(); lip != nil {
+				if se, ok := lip.Policy().(*bandit.SuccessiveElimination); ok {
+					st.Bandit = se
+				}
+			}
+		}
+		if err := Check(st); err != nil {
+			return fmt.Errorf("slot %d: %w", rep.Slot, err)
+		}
+		if info.Sched != nil && info.Sched.UncertaintyAware() && res != nil {
+			for _, j := range rep.Admitted {
+				d := res.Decisions[j]
+				if !d.Served && !d.Evicted {
+					return fmt.Errorf("slot %d: oracle: request %d admitted by aware scheduler %s but neither served nor evicted (capacity discipline broken)",
+						rep.Slot, j, info.Sched.Name())
+				}
+			}
+		}
+		if isDRR && len(info.Pending) > 0 {
+			if cth, ok := drr.LastThreshold(); ok {
+				allowed := NaiveAdmissionSet(e.Requests(), info.Pending, info.FreeBeforeMHz, cth)
+				for _, j := range rep.Admitted {
+					if !allowed[j] {
+						return fmt.Errorf("slot %d: oracle: request %d admitted outside the C^th=%.1f MHz share rule", rep.Slot, j, cth)
+					}
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// CheckAdmittedLoad verifies the capacity discipline of an offline
+// result: the realized demand shares of every admitted, non-evicted
+// request, accumulated per station exactly as core.Evaluate does, must
+// not exceed any station's capacity. The production algorithms guard
+// every ledger commit with the occupancy test, so this holds by
+// construction — unless the test is broken (the oraclemutant build).
+func CheckAdmittedLoad(n *mec.Network, reqs []*mec.Request, res *core.Result) error {
+	if n == nil || res == nil {
+		return fmt.Errorf("oracle: nil network or result")
+	}
+	load := make([]float64, n.NumStations())
+	for j := range res.Decisions {
+		d := &res.Decisions[j]
+		if !d.Admitted || d.Evicted {
+			continue
+		}
+		r := reqs[j]
+		out, err := r.MustRealized()
+		if err != nil {
+			return fmt.Errorf("oracle: admitted request %d: %w", j, err)
+		}
+		demand := n.RateToMHz(out.Rate)
+		totalWork := 0.0
+		for _, task := range r.Tasks {
+			totalWork += task.WorkMS
+		}
+		for k, st := range d.TaskStations {
+			frac := 1.0 / float64(len(r.Tasks))
+			if totalWork > 0 {
+				frac = r.Tasks[k].WorkMS / totalWork
+			}
+			load[st] += demand * frac
+		}
+	}
+	for i, u := range load {
+		if cap := n.Capacity(i); u > cap+capacityTol {
+			return fmt.Errorf("oracle: %s admitted %.3f MHz on station %d, capacity %.3f MHz",
+				res.Algorithm, u, i, cap)
+		}
+	}
+	return nil
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"mecoffload/internal/core"
 	"mecoffload/internal/dist"
 	"mecoffload/internal/mec"
+	"mecoffload/internal/oracle"
 	"mecoffload/internal/sim"
 	"mecoffload/internal/workload"
 )
@@ -102,6 +104,18 @@ type Config struct {
 	// MaxRecordsPerShard bounds the status registry (default 65536
 	// records per shard; oldest terminal records evict first).
 	MaxRecordsPerShard int
+	// StepChecker, when set, is installed on the planner and runs the
+	// oracle's invariant checks after every slot; a violation surfaces as
+	// a slot error (the slot's requests stay pending and SlotErrors
+	// increments). Leave nil for no checking — unless the MEC_ORACLE
+	// environment variable is 1/true, which installs
+	// oracle.EngineChecker by default.
+	StepChecker sim.StepChecker
+	// SlotObserver, when set, receives every slot report from the loop
+	// goroutine, after the slot has settled but before metrics publish.
+	// It must not call back into the engine. Replay harnesses use it to
+	// capture per-slot admission decisions for parity checks.
+	SlotObserver func(sim.SlotReport)
 }
 
 // liveEntry tracks one live (pending or running) request inside the loop.
@@ -196,6 +210,9 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.StepChecker == nil && oracleEnv() {
+		cfg.StepChecker = oracle.EngineChecker()
+	}
 
 	e := &Engine{
 		cfg:        cfg,
@@ -276,12 +293,23 @@ func buildScheduler(name string, opts sim.DynamicRROptions, snap *bandit.Lipschi
 	}
 }
 
+// oracleEnv reports whether the MEC_ORACLE environment variable asks for
+// runtime invariant checking.
+func oracleEnv() bool {
+	switch os.Getenv("MEC_ORACLE") {
+	case "1", "true", "on":
+		return true
+	}
+	return false
+}
+
 // installEmpty sets up a fresh planner with no live requests.
 func (e *Engine) installEmpty() error {
 	planner, err := sim.NewLiveEngine(e.cfg.Net, e.cfg.Rng, e.cfg.SlotLengthMS)
 	if err != nil {
 		return err
 	}
+	planner.SetStepChecker(e.cfg.StepChecker)
 	e.planner = planner
 	e.res = &core.Result{Algorithm: e.sched.Name()}
 	e.pending = nil
@@ -722,6 +750,9 @@ func (e *Engine) runSlot() {
 		// stay pending and the next slot retries.
 		e.metrics.SlotErrors.Inc()
 		e.cfg.Logf("arserved: slot %d scheduler error: %v", t, err)
+	}
+	if e.cfg.SlotObserver != nil {
+		e.cfg.SlotObserver(rep)
 	}
 
 	// Fold the slot report into metrics and shard events.

@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"mecoffload/internal/core"
+	"mecoffload/internal/oracle"
+	"mecoffload/internal/sim"
+)
+
+// TestConcurrentSubmitTickCheckpoint interleaves every public engine
+// entry point from concurrent goroutines — submissions, manual ticks,
+// forced checkpoints, status polls, and gauge scrapes — then drains. Run
+// under -race in CI, this covers the shard map, the metrics counters,
+// and the control-channel serialization of internal/serve/shard.go.
+func TestConcurrentSubmitTickCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	e := testEngine(t, Config{
+		Net:            testNetwork(t, 6),
+		Rng:            rand.New(rand.NewSource(7)),
+		Shards:         3,
+		CheckpointPath: filepath.Join(dir, "state.json"),
+		StepChecker:    oracle.EngineChecker(),
+	})
+
+	const (
+		submitters = 4
+		perWorker  = 25
+		ticks      = 40
+	)
+	var wg sync.WaitGroup
+	ids := make(chan uint64, submitters*perWorker)
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id, _, err := e.Submit(RequestSpec{
+					AccessStation: (w + i) % e.cfg.Net.NumStations(),
+					DurationSlots: 2 + i%3,
+				})
+				if err != nil {
+					t.Errorf("worker %d submit %d: %v", w, i, err)
+					return
+				}
+				ids <- id
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < ticks; i++ {
+			if err := e.Tick(); err != nil && !errors.Is(err, ErrStopped) {
+				t.Errorf("tick %d: %v", i, err)
+				return
+			}
+			if i%10 == 9 {
+				if err := e.CheckpointNow(); err != nil && !errors.Is(err, ErrStopped) {
+					t.Errorf("checkpoint at tick %d: %v", i, err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 60; i++ {
+			select {
+			case id := <-ids:
+				if _, ok, err := e.Status(id); err != nil || !ok {
+					t.Errorf("status %d: ok=%v err=%v", id, ok, err)
+					return
+				}
+			default:
+			}
+			for _, g := range e.Gauges() {
+				if g.UsedMHz < 0 || g.UsedMHz > g.CapacityMHz+1e-6 {
+					t.Errorf("gauge for station %d out of range: %+v", g.Station, g)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Drain the backlog: every submitted request must settle.
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; e.Alive(); i++ {
+		if i > 10000 {
+			t.Fatal("drain did not settle within 10000 ticks")
+		}
+		if err := e.Tick(); err != nil {
+			if errors.Is(err, ErrStopped) {
+				break
+			}
+			t.Fatal(err)
+		}
+	}
+	m := e.Metrics()
+	if got := m.Submitted.Load(); got != submitters*perWorker {
+		t.Fatalf("submitted %d, want %d", got, submitters*perWorker)
+	}
+	if m.SlotErrors.Load() != 0 {
+		t.Fatalf("%d slot errors during a healthy run", m.SlotErrors.Load())
+	}
+	settled := m.Served.Load() + m.Evicted.Load() + m.Expired.Load() + m.Rejected.Load()
+	if settled != submitters*perWorker {
+		t.Fatalf("settled %d of %d submitted", settled, submitters*perWorker)
+	}
+}
+
+// TestOracleEnvInstallsChecker: MEC_ORACLE=1 must install the oracle's
+// invariant checker on a fresh engine; an explicit checker wins; other
+// values leave the hook empty.
+func TestOracleEnvInstallsChecker(t *testing.T) {
+	build := func(t *testing.T, cfg Config) *Engine {
+		cfg.Net = testNetwork(t, 3)
+		cfg.Rng = rand.New(rand.NewSource(1))
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	t.Run("on", func(t *testing.T) {
+		t.Setenv("MEC_ORACLE", "1")
+		if e := build(t, Config{}); e.cfg.StepChecker == nil {
+			t.Fatal("MEC_ORACLE=1 did not install the oracle checker")
+		}
+	})
+	t.Run("off", func(t *testing.T) {
+		t.Setenv("MEC_ORACLE", "0")
+		if e := build(t, Config{}); e.cfg.StepChecker != nil {
+			t.Fatal("MEC_ORACLE=0 installed a checker")
+		}
+	})
+	t.Run("explicit wins", func(t *testing.T) {
+		t.Setenv("MEC_ORACLE", "")
+		called := false
+		own := func(*sim.Engine, *core.Result, sim.SlotReport, sim.StepInfo) error {
+			called = true
+			return nil
+		}
+		e := build(t, Config{StepChecker: own})
+		e.Start()
+		defer func() { _ = e.Stop() }()
+		if err := e.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		if !called {
+			t.Fatal("explicit StepChecker was not invoked")
+		}
+	})
+}
+
+// TestFailingCheckerCountsSlotErrors: a violated invariant must not crash
+// the daemon — the slot is aborted, SlotErrors increments, and the loop
+// keeps serving subsequent ticks.
+func TestFailingCheckerCountsSlotErrors(t *testing.T) {
+	fail := func(*sim.Engine, *core.Result, sim.SlotReport, sim.StepInfo) error {
+		return fmt.Errorf("synthetic invariant violation")
+	}
+	e := testEngine(t, Config{StepChecker: fail})
+	submitN(t, e, 3)
+	for i := 0; i < 4; i++ {
+		if err := e.Tick(); err != nil {
+			t.Fatalf("tick %d returned %v; checker failures must stay inside the loop", i, err)
+		}
+	}
+	m := e.Metrics()
+	if got := m.SlotErrors.Load(); got != 4 {
+		t.Fatalf("SlotErrors %d after 4 failing ticks, want 4", got)
+	}
+	if !e.Alive() && m.Ticks.Load() != 4 {
+		t.Fatalf("engine stopped ticking after checker failures (ticks %d)", m.Ticks.Load())
+	}
+}

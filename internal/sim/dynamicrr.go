@@ -59,6 +59,7 @@ type DynamicRR struct {
 	learner ThresholdLearner
 	lip     *bandit.Lipschitz // non-nil only for the fixed-grid learner
 	lastArm int
+	lastCth float64
 	played  bool
 	opts    DynamicRROptions
 	// warm carries the per-pass LP-PT bases from slot to slot:
@@ -122,10 +123,18 @@ func (d *DynamicRR) Learner() ThresholdLearner { return d.learner }
 // serving daemon's warm-start hit-rate metric.
 func (d *DynamicRR) Warm() *core.WarmCache { return d.warm }
 
+// LastThreshold returns the C^th value the bandit selected for the most
+// recent Schedule call, and whether Schedule has run at all. The oracle's
+// step checker uses it to re-derive the slot's admissible set under the
+// round-robin share rule.
+func (d *DynamicRR) LastThreshold() (float64, bool) {
+	return d.lastCth, d.lastCth > 0
+}
+
 // Schedule implements Scheduler (Algorithm 3 steps 3-12).
 func (d *DynamicRR) Schedule(eng *Engine, res *core.Result, t int, pending []int) ([]int, error) {
 	arm, cth := d.learner.SelectValue()
-	d.lastArm, d.played = arm, true
+	d.lastArm, d.lastCth, d.played = arm, cth, true
 
 	// Step 10-11: increasing expected data rate; admit into R_t while the
 	// average share of the free capacity stays at least C^th.

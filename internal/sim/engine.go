@@ -82,7 +82,35 @@ type Engine struct {
 	// slotRewards[t] is the realized reward credited at slot t; the regret
 	// experiment compares its prefix sums across policies.
 	slotRewards []float64
+	// check, when set, is invoked at the end of every Step (see
+	// SetStepChecker).
+	check StepChecker
 }
+
+// StepInfo carries the per-slot context a StepChecker needs beyond the
+// engine, result, and report.
+type StepInfo struct {
+	// Sched is the scheduler that ran (or would have run) this slot.
+	Sched Scheduler
+	// Pending is a snapshot of the queue the scheduler saw, taken after
+	// departures were released and unreachable requests expired. Empty
+	// when the scheduler was skipped because nothing was pending.
+	Pending []int
+	// FreeBeforeMHz is the total spare realized capacity across stations
+	// at scheduling time (after release, before admission).
+	FreeBeforeMHz float64
+}
+
+// StepChecker is an invariant hook run at the end of every Step, after
+// settlement and feedback. A non-nil error aborts the step (and thus the
+// run): checkers assert conservation laws, they do not steer decisions.
+// internal/oracle provides the production checker.
+type StepChecker func(e *Engine, res *core.Result, rep SlotReport, info StepInfo) error
+
+// SetStepChecker installs (or, with nil, removes) the per-slot invariant
+// hook. The checker observes every subsequent Step, including slots where
+// the scheduler was skipped for lack of pending requests.
+func (e *Engine) SetStepChecker(c StepChecker) { e.check = c }
 
 // Config parameterizes NewEngine.
 type Config struct {
@@ -319,8 +347,20 @@ func (e *Engine) Step(sched Scheduler, res *core.Result, t int, pending []int) (
 			}
 		}
 	}
+	var info StepInfo
+	if e.check != nil {
+		info = StepInfo{Sched: sched, FreeBeforeMHz: e.FreeCapacity()}
+	}
 	if len(pending) == 0 {
+		if e.check != nil {
+			if err := e.check(e, res, rep, info); err != nil {
+				return pending, rep, err
+			}
+		}
 		return pending, rep, nil
+	}
+	if e.check != nil {
+		info.Pending = append([]int(nil), pending...)
 	}
 
 	admitted, err := sched.Schedule(e, res, t, pending)
@@ -346,6 +386,11 @@ func (e *Engine) Step(sched Scheduler, res *core.Result, t int, pending []int) (
 	for _, j := range pending {
 		if !res.Decisions[j].Admitted {
 			keep = append(keep, j)
+		}
+	}
+	if e.check != nil {
+		if err := e.check(e, res, rep, info); err != nil {
+			return keep, rep, err
 		}
 	}
 	return keep, rep, nil
