@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build test race oracle bench bench-smoke fuzz fmt vet clean
+.PHONY: verify build test race oracle bench bench-check bench-smoke fuzz fmt vet clean
 
 ## verify: tier-1 gate — build everything, vet, gofmt check, full tests.
 verify: build vet fmt-check test
@@ -31,14 +31,34 @@ oracle:
 		echo "seeded capacity mutant passed the oracle suite" >&2; exit 1; fi
 	@echo "oracle: mutant caught"
 
-## bench: the hot-path benchmarks, timed (LP warm-start contrast included).
+## bench: the hot-path benchmarks, timed (LP warm-start contrast
+## included), converted to BENCH_PR5.json by cmd/benchjson. The gated
+## serve-slot benchmarks run at a pinned iteration count so their
+## allocs/op is exactly reproducible — that JSON is the baseline
+## `make bench-check` compares future runs against.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkAppro|BenchmarkDynamicRRRun|BenchmarkLPColdVsWarm|BenchmarkLPPTSlot|BenchmarkServeSlot' -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkAppro|BenchmarkDynamicRRRun|BenchmarkLPColdVsWarm|BenchmarkLPPTSlot' -benchmem . | tee bench-raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkServeSlot' -benchtime 1000x -benchmem . | tee -a bench-raw.txt
+	$(GO) run ./cmd/benchjson -in bench-raw.txt -out BENCH_PR5.json
 
-## bench-smoke: compile-and-run-once pass over the gating benchmarks,
-## mirroring the CI bench-smoke job.
+## bench-check: re-run the gated serve-slot benchmarks at the baseline's
+## pinned iteration count and fail on a >10% ns/op regression or any
+## allocs/op increase versus the committed BENCH_PR5.json. ns/op is only
+## meaningful against a baseline recorded on the same machine; allocs/op
+## is deterministic everywhere. CI runs the same gate A/B against the
+## merge base on one runner (bench-regression job).
+bench-check:
+	$(GO) test -run '^$$' -bench 'BenchmarkServeSlot' -benchtime 1000x -benchmem . \
+		| $(GO) run ./cmd/benchjson -tee -out bench-new.json
+	$(GO) run ./cmd/benchjson -compare -old BENCH_PR5.json -new bench-new.json -gate '^BenchmarkServeSlot'
+
+## bench-smoke: compile-and-run-once pass over the benchmark harness,
+## mirroring the CI bench-smoke job. No regression gate here: at
+## -benchtime 1x neither timings nor allocation counts are comparable
+## to the amortized baseline (bench-check is the gate).
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkAppro|BenchmarkDynamicRRRun|BenchmarkLPColdVsWarm' -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkAppro|BenchmarkDynamicRRRun|BenchmarkLPColdVsWarm|BenchmarkServeSlot' -benchtime 1x -benchmem . \
+		| $(GO) run ./cmd/benchjson -tee -out bench-smoke.json
 
 ## fuzz: seed-corpus regression then a short fuzzing budget.
 fuzz:
@@ -58,4 +78,4 @@ vet:
 	$(GO) vet ./...
 
 clean:
-	rm -f mecoffload.test bench-smoke.txt
+	rm -f mecoffload.test bench-smoke.txt bench-smoke.json bench-new.json bench-raw.txt

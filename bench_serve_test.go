@@ -26,6 +26,37 @@ func BenchmarkServeSlotOracle(b *testing.B) {
 	benchServeSlot(b, oracle.EngineChecker())
 }
 
+// BenchmarkServeSlotSteady measures the quiescent slot path: no
+// arrivals, no in-flight streams, just the per-tick engine loop a
+// drained daemon spins on. This path is allocation-free — the engine
+// reuses its slot scratch and skips shard publishing on idle slots —
+// and the benchjson gate fails the build if allocs/op ever leaves 0
+// (TestRunSlotIdleNoAllocs pins the same contract in-process).
+func BenchmarkServeSlotSteady(b *testing.B) {
+	net, err := mec.RandomNetwork(20, 3000, 3600, rand.New(rand.NewSource(17)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := serve.New(serve.Config{Net: net, Rng: rand.New(rand.NewSource(18))})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.Start()
+	defer func() { _ = eng.Stop() }()
+	// One warmup tick so lazily-grown engine buffers reach steady size.
+	if err := eng.Tick(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Tick(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func benchServeSlot(b *testing.B, check sim.StepChecker) {
 	net, err := mec.RandomNetwork(20, 3000, 3600, rand.New(rand.NewSource(17)))
 	if err != nil {

@@ -26,6 +26,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only behind -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -65,6 +66,8 @@ func run(args []string, out io.Writer) error {
 		replay     = fs.String("replay", "", "replay a workload trace JSON as a load generator instead of serving HTTP")
 		replayRate = fs.Int("requests-per-30fps", 1, "replay: requests per second per 30 fps of trace")
 		replayDump = fs.String("replay-dump", "", "replay: write per-slot admission decisions as JSON to this file")
+		workers    = fs.Int("workers", 1, "concurrent component solves per slot LP (dynamicrr only; decisions are identical for every value)")
+		pprofAddr  = fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,9 +96,27 @@ func run(args []string, out io.Writer) error {
 		net_ = n
 	}
 
+	if *pprofAddr != "" {
+		// Opt-in profiling endpoint, on its own listener so the debug
+		// surface never shares a port with the public API.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		psrv := &http.Server{Handler: http.DefaultServeMux}
+		go func() {
+			if err := psrv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(out, "arserved: pprof server: %v\n", err)
+			}
+		}()
+		defer psrv.Close()
+		fmt.Fprintf(out, "arserved: pprof on http://%s/debug/pprof/\n", pln.Addr())
+	}
+
 	cfg := serve.Config{
 		Net:             net_,
 		SchedulerName:   *schedName,
+		DynamicRR:       sim.DynamicRROptions{Workers: *workers},
 		SlotLengthMS:    *slotMS,
 		Rng:             rnd.New(*seed, "serve"),
 		Shards:          *shards,

@@ -26,6 +26,7 @@ import (
 	"mecoffload/internal/core"
 	"mecoffload/internal/mec"
 	"mecoffload/internal/oracle"
+	"mecoffload/internal/prof"
 	"mecoffload/internal/rnd"
 	"mecoffload/internal/scenario"
 	"mecoffload/internal/sim"
@@ -67,7 +68,7 @@ func (ts *traceScheduler) Schedule(eng *sim.Engine, res *core.Result, t int, pen
 	return admitted, nil
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("arsim", flag.ContinueOnError)
 	var (
 		schedName  = fs.String("scheduler", "dynamicrr", "scheduler: dynamicrr, ocorp, greedy, heukkt")
@@ -84,10 +85,22 @@ func run(args []string, out io.Writer) error {
 		replayRate = fs.Int("requests-per-30fps", 1, "replay: requests per second per 30 fps of trace")
 		replayDump = fs.String("replay-dump", "", "replay: write per-slot admission decisions as JSON to this file")
 		slotMS     = fs.Float64("slot-ms", mec.DefaultSlotLengthMS, "replay: model slot length in milliseconds")
+		workers    = fs.Int("workers", 1, "concurrent component solves per slot LP (dynamicrr only; decisions are identical for every value)")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = fs.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	if *replay != "" {
 		return runReplayGolden(*replay, *stations, *seed, *slotMS, *replayRate, *replayDump, out)
@@ -143,7 +156,7 @@ func run(args []string, out io.Writer) error {
 	var sched sim.Scheduler
 	switch *schedName {
 	case "dynamicrr":
-		d, err := sim.NewDynamicRR(sim.DynamicRROptions{})
+		d, err := sim.NewDynamicRR(sim.DynamicRROptions{Workers: *workers})
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,209 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// summary and compares two summaries as a regression gate, standing in
+// for benchstat without any dependency outside the standard library.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson -out BENCH.json
+//	benchjson -compare -old BENCH_PR5.json -new BENCH.json \
+//	    -gate 'BenchmarkServeSlot$' -max-ns-regress 0.10
+//
+// Convert mode parses benchmark lines (name, iterations, ns/op, B/op,
+// allocs/op, and any custom ReportMetric units) from stdin or -in.
+// Compare mode exits non-zero when a gated benchmark's ns/op regressed
+// by more than -max-ns-regress (relative), or when its allocs/op grew at
+// all — allocation counts are deterministic, so any increase is a real
+// regression, while wall-clock gets a noise allowance.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark's parsed result.
+type Bench struct {
+	Name     string             `json:"name"`
+	Iters    int64              `json:"iters"`
+	NsOp     float64            `json:"ns_op"`
+	BytesOp  float64            `json:"bytes_op"`
+	AllocsOp float64            `json:"allocs_op"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	var (
+		inPath  = fs.String("in", "", "benchmark text to parse (default stdin)")
+		outPath = fs.String("out", "", "write the JSON summary to this file (default stdout)")
+		compare = fs.Bool("compare", false, "compare -old against -new instead of converting")
+		oldPath = fs.String("old", "", "compare: baseline JSON summary")
+		newPath = fs.String("new", "", "compare: candidate JSON summary")
+		gate    = fs.String("gate", "BenchmarkServeSlot$", "compare: regexp naming the gated benchmarks")
+		maxNs   = fs.Float64("max-ns-regress", 0.10, "compare: tolerated relative ns/op regression")
+		tee     = fs.Bool("tee", false, "convert: also copy the input text to stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *compare {
+		return runCompare(*oldPath, *newPath, *gate, *maxNs, stdout)
+	}
+
+	in := stdin
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	var echo io.Writer
+	if *tee {
+		echo = stdout
+	}
+	benches, err := Parse(in, echo)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(benches, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *outPath != "" {
+		return os.WriteFile(*outPath, data, 0o644)
+	}
+	_, err = stdout.Write(data)
+	return err
+}
+
+// benchLine matches "BenchmarkName-8   123   456 ns/op ..." lines.
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// Parse reads `go test -bench` text and returns the benchmark results in
+// input order. When echo is non-nil every input line is copied to it.
+func Parse(r io.Reader, echo io.Writer) ([]Bench, error) {
+	var out []Bench
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if echo != nil {
+			fmt.Fprintln(echo, line)
+		}
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Bench{Name: m[1], Iters: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsOp = v
+			case "B/op":
+				b.BytesOp = v
+			case "allocs/op":
+				b.AllocsOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[fields[i+1]] = v
+			}
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+// runCompare applies the regression gate and reports each gated pair.
+func runCompare(oldPath, newPath, gate string, maxNs float64, stdout io.Writer) error {
+	if oldPath == "" || newPath == "" {
+		return fmt.Errorf("compare needs -old and -new")
+	}
+	re, err := regexp.Compile(gate)
+	if err != nil {
+		return fmt.Errorf("bad -gate: %w", err)
+	}
+	oldB, err := loadSummary(oldPath)
+	if err != nil {
+		return err
+	}
+	newB, err := loadSummary(newPath)
+	if err != nil {
+		return err
+	}
+	gated := 0
+	var failures []string
+	for name, nb := range newB {
+		if !re.MatchString(name) {
+			continue
+		}
+		ob, ok := oldB[name]
+		if !ok {
+			continue // new benchmark: nothing to regress against
+		}
+		gated++
+		nsDelta := 0.0
+		if ob.NsOp > 0 {
+			nsDelta = (nb.NsOp - ob.NsOp) / ob.NsOp
+		}
+		fmt.Fprintf(stdout, "%s: ns/op %.0f -> %.0f (%+.1f%%), allocs/op %g -> %g\n",
+			name, ob.NsOp, nb.NsOp, 100*nsDelta, ob.AllocsOp, nb.AllocsOp)
+		if nsDelta > maxNs {
+			failures = append(failures, fmt.Sprintf("%s: ns/op regressed %.1f%% (max %.1f%%)", name, 100*nsDelta, 100*maxNs))
+		}
+		if nb.AllocsOp > ob.AllocsOp {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op grew %g -> %g", name, ob.AllocsOp, nb.AllocsOp))
+		}
+	}
+	if gated == 0 {
+		return fmt.Errorf("gate %q matched no benchmark present in both summaries", gate)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("regression gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(stdout, "benchjson: %d gated benchmark(s) within bounds\n", gated)
+	return nil
+}
+
+func loadSummary(path string) (map[string]Bench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var list []Bench
+	if err := json.Unmarshal(data, &list); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]Bench, len(list))
+	for _, b := range list {
+		out[b.Name] = b
+	}
+	return out, nil
+}

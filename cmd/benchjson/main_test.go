@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: mecoffload
+BenchmarkServeSlot-8     	    1203	    987654 ns/op	         0.950 warm-hit-ratio	    1024 B/op	      12 allocs/op
+BenchmarkServeSlotSteady 	  500000	      2100 ns/op	       0 B/op	       0 allocs/op
+BenchmarkLPPTSlot-8      	     800	   1500000 ns/op
+PASS
+ok  	mecoffload	4.2s
+`
+
+func TestParse(t *testing.T) {
+	benches, err := Parse(strings.NewReader(sampleBench), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(benches))
+	}
+	b := benches[0]
+	if b.Name != "BenchmarkServeSlot" {
+		t.Errorf("name = %q, want BenchmarkServeSlot (GOMAXPROCS suffix stripped)", b.Name)
+	}
+	if b.Iters != 1203 || b.NsOp != 987654 || b.BytesOp != 1024 || b.AllocsOp != 12 {
+		t.Errorf("parsed %+v", b)
+	}
+	if got := b.Metrics["warm-hit-ratio"]; got != 0.950 {
+		t.Errorf("warm-hit-ratio = %v, want 0.95", got)
+	}
+	if benches[1].Name != "BenchmarkServeSlotSteady" || benches[1].AllocsOp != 0 {
+		t.Errorf("steady = %+v", benches[1])
+	}
+	if benches[2].Metrics != nil {
+		t.Errorf("no-benchmem line grew metrics: %+v", benches[2])
+	}
+}
+
+func writeSummary(t *testing.T, dir, name, text string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run([]string{"-out", filepath.Join(dir, name)}, strings.NewReader(text), &buf); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, name)
+}
+
+func TestCompareWithinBounds(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeSummary(t, dir, "old.json", sampleBench)
+	// 5% slower: inside the 10% allowance, allocs unchanged.
+	newText := strings.Replace(sampleBench, "987654 ns/op", "1037037 ns/op", 1)
+	newP := writeSummary(t, dir, "new.json", newText)
+	var buf bytes.Buffer
+	if err := run([]string{"-compare", "-old", oldP, "-new", newP}, nil, &buf); err != nil {
+		t.Fatalf("compare failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "within bounds") {
+		t.Errorf("output: %s", buf.String())
+	}
+}
+
+func TestCompareFailsOnNsRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeSummary(t, dir, "old.json", sampleBench)
+	newText := strings.Replace(sampleBench, "987654 ns/op", "1200000 ns/op", 1) // +21%
+	newP := writeSummary(t, dir, "new.json", newText)
+	var buf bytes.Buffer
+	err := run([]string{"-compare", "-old", oldP, "-new", newP}, nil, &buf)
+	if err == nil || !strings.Contains(err.Error(), "ns/op regressed") {
+		t.Fatalf("err = %v, want ns/op regression failure", err)
+	}
+}
+
+func TestCompareFailsOnAnyAllocIncrease(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeSummary(t, dir, "old.json", sampleBench)
+	newText := strings.Replace(sampleBench, "12 allocs/op", "13 allocs/op", 1)
+	newP := writeSummary(t, dir, "new.json", newText)
+	var buf bytes.Buffer
+	err := run([]string{"-compare", "-old", oldP, "-new", newP}, nil, &buf)
+	if err == nil || !strings.Contains(err.Error(), "allocs/op grew") {
+		t.Fatalf("err = %v, want allocs/op failure", err)
+	}
+}
+
+func TestCompareGateCoversSteadyVariant(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeSummary(t, dir, "old.json", sampleBench)
+	newText := strings.Replace(sampleBench, "0 allocs/op", "1 allocs/op", 1)
+	newP := writeSummary(t, dir, "new.json", newText)
+	var buf bytes.Buffer
+	err := run([]string{"-compare", "-old", oldP, "-new", newP, "-gate", "^BenchmarkServeSlot"}, nil, &buf)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkServeSlotSteady") {
+		t.Fatalf("err = %v, want steady-variant allocs failure", err)
+	}
+}
+
+func TestCompareRejectsEmptyGate(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeSummary(t, dir, "old.json", sampleBench)
+	var buf bytes.Buffer
+	err := run([]string{"-compare", "-old", oldP, "-new", oldP, "-gate", "BenchmarkNoSuch"}, nil, &buf)
+	if err == nil || !strings.Contains(err.Error(), "matched no benchmark") {
+		t.Fatalf("err = %v, want empty-gate failure", err)
+	}
+}
+
+func TestConvertFromFileAndTee(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "bench.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-in", in, "-out", out, "-tee"}, nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "BenchmarkServeSlot-8") {
+		t.Errorf("tee output missing raw text:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"name": "BenchmarkServeSlot"`) {
+		t.Errorf("json output: %s", data)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"mecoffload/internal/experiment"
+	"mecoffload/internal/prof"
 )
 
 func main() {
@@ -27,7 +28,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("mecsim", flag.ContinueOnError)
 	var (
 		exp      = fs.String("experiment", "all", "experiment id (fig3..fig6, regret, ablation-*, all)")
@@ -36,12 +37,23 @@ func run(args []string, out io.Writer) error {
 		stations = fs.Int("stations", experiment.DefaultStations, "number of base stations")
 		requests = fs.Int("requests", experiment.DefaultRequests, "workload size for fixed-|R| sweeps")
 		horizon  = fs.Int("horizon", experiment.DefaultHorizon, "online arrival horizon in slots")
-		parallel = fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+		parallel = fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS; results are identical for every value)")
 		csvPath  = fs.String("csv", "", "also write results as CSV to this file")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	opts := experiment.Options{
 		Repetitions: *reps,

@@ -36,6 +36,12 @@ type ApproOptions struct {
 	// stores this run's bases back. Warm starting never changes the LP
 	// optimum — only the simplex iteration count.
 	Warm *WarmCache
+	// Workers bounds the goroutines solving independent components of the
+	// block-diagonal slot LP concurrently (0 or 1 solves them serially on
+	// the calling goroutine). Results are bit-identical for every value:
+	// the component decomposition is always on and the merge order is
+	// fixed, so Workers trades wall-clock time only.
+	Workers int
 }
 
 func (o *ApproOptions) fill() {
@@ -96,7 +102,9 @@ func runRounding(n *mec.Network, reqs []*mec.Request, rng *rand.Rand, opts Appro
 		hooks = mkHooks(res, used)
 	}
 
-	undecided := make([]int, len(reqs))
+	sc := getSlotScratch()
+	defer putSlotScratch(sc)
+	undecided := growInts(&sc.undecided, len(reqs))
 	for j := range undecided {
 		undecided[j] = j
 	}
@@ -117,29 +125,25 @@ func runRounding(n *mec.Network, reqs []*mec.Request, rng *rand.Rand, opts Appro
 			}
 		}
 		capOf := func(i int) float64 { return n.Capacity(i) - used[i] }
-		model, err := buildLP(n, reqs, lpOptions{
+		err := solveDecomposed(n, reqs, lpOptions{
 			active:       undecided,
 			capOf:        capOf,
 			slotMHz:      slotMHz,
 			slotLengthMS: opts.SlotLengthMS,
-		})
+			names:        opts.Warm.nameTable(),
+		}, opts.Warm, pass, opts.Workers, sc, &sc.merged)
 		if err != nil {
 			return nil, err
 		}
-		y, lpOpt, basis, err := model.solveWarm(opts.Warm.get(pass))
-		if err != nil {
-			return nil, err
-		}
-		opts.Warm.put(pass, basis)
 		if pass == 0 {
-			res.ExpectedLPBound = lpOpt
+			res.ExpectedLPBound = sc.merged.obj
 		}
-		if len(y) == 0 {
+		if len(sc.merged.y) == 0 {
 			break
 		}
 
-		pre := roundAssignments(model, y, reqs, rng, opts.RoundingDenominator)
-		admitted := admitSlotBySlot(n, reqs, pre, rng, opts.SlotLengthMS, slotMHz, res, hooks, used, nil)
+		sc.pre = roundAssignments(sc.merged.vars, sc.merged.byReq, sc.merged.y, reqs, rng, opts.RoundingDenominator, sc.pre[:0])
+		admitted := admitSlotBySlot(n, reqs, sc.pre, rng, opts.SlotLengthMS, slotMHz, res, hooks, used, nil, sc)
 		if admitted == 0 {
 			break
 		}
@@ -161,19 +165,21 @@ func runRounding(n *mec.Network, reqs []*mec.Request, rng *rand.Rand, opts Appro
 }
 
 // roundAssignments performs Algorithm 1 step 2: each request lands on
-// (i, l) with probability y_jil/denom, or nowhere.
-func roundAssignments(model *lpModel, y []float64, reqs []*mec.Request, rng *rand.Rand, denom float64) []tentative {
-	var pre []tentative
+// (i, l) with probability y_jil/denom, or nowhere. Requests draw in
+// ascending global index order (one draw per request with variables), so
+// the rng consumption is independent of how the LP was decomposed. pre is
+// an optional reused buffer; the filled slice is returned.
+func roundAssignments(vars []slotVar, byReq [][]int, y []float64, reqs []*mec.Request, rng *rand.Rand, denom float64, pre []tentative) []tentative {
 	for j := range reqs {
-		if len(model.byReq[j]) == 0 {
+		if len(byReq[j]) == 0 {
 			continue
 		}
 		u := rng.Float64()
 		acc := 0.0
-		for _, idx := range model.byReq[j] {
+		for _, idx := range byReq[j] {
 			acc += y[idx] / denom
 			if u < acc {
-				sv := model.vars[idx]
+				sv := vars[idx]
 				pre = append(pre, tentative{req: j, station: sv.station, slot: sv.slot})
 				break
 			}
@@ -213,8 +219,8 @@ type admissionHooks struct {
 // on top of the snapshot taken at entry. When migrate is non-nil
 // (Algorithm 2), a failed occupancy test triggers one migration attempt
 // before the request is rejected.
-func admitSlotBySlot(n *mec.Network, reqs []*mec.Request, pre []tentative, rng *rand.Rand, slotLenMS, slotMHz float64, res *Result, hooks admissionHooks, used []float64, waitOf func(int) int) int {
-	base := make([]float64, len(used))
+func admitSlotBySlot(n *mec.Network, reqs []*mec.Request, pre []tentative, rng *rand.Rand, slotLenMS, slotMHz float64, res *Result, hooks admissionHooks, used []float64, waitOf func(int) int, sc *slotScratch) int {
+	base := growFloatsClear(&sc.base, len(used))
 	copy(base, used)
 	passUsed := func(i int) float64 { return used[i] - base[i] }
 

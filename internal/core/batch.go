@@ -39,8 +39,13 @@ type BatchOptions struct {
 	// optimal basis of the corresponding pass of the previous slot's
 	// batch (consecutive slots differ only by arrivals, departures, and
 	// residual capacity, so the old basis is near-optimal) and stores
-	// this slot's bases back.
+	// this slot's bases back. Bases are filed per (pass, component shard),
+	// so each worker of the decomposed solve warm-starts independently.
 	Warm *WarmCache
+	// Workers bounds the goroutines solving independent components of the
+	// block-diagonal LP-PT concurrently (0 or 1 = serial). Decisions are
+	// bit-identical for every value.
+	Workers int
 }
 
 // ScheduleBatch admits requests from opts.Active into the network using
@@ -70,9 +75,11 @@ func ScheduleBatch(n *mec.Network, reqs []*mec.Request, res *Result, rng *rand.R
 	}
 
 	used := opts.Used
+	sc := getSlotScratch()
+	defer putSlotScratch(sc)
 	var hooks admissionHooks
 	if opts.Distribute {
-		inBatch := make(map[int]bool, len(opts.Active))
+		inBatch := growBoolsClear(&sc.inBatch, len(reqs))
 		for _, j := range opts.Active {
 			inBatch[j] = true
 		}
@@ -82,7 +89,8 @@ func ScheduleBatch(n *mec.Network, reqs []*mec.Request, res *Result, rng *rand.R
 		}
 	}
 
-	undecided := append([]int(nil), opts.Active...)
+	sc.undecided = append(sc.undecided[:0], opts.Active...)
+	undecided := sc.undecided
 	totalAdmitted := 0
 	slotMHz := n.SlotMHz()
 	for pass := 0; pass < maxPasses && len(undecided) > 0; pass++ {
@@ -92,27 +100,23 @@ func ScheduleBatch(n *mec.Network, reqs []*mec.Request, res *Result, rng *rand.R
 			}
 		}
 		capOf := func(i int) float64 { return n.Capacity(i) - used[i] }
-		model, err := buildLP(n, reqs, lpOptions{
+		err := solveDecomposed(n, reqs, lpOptions{
 			active:       undecided,
 			capOf:        capOf,
 			slotMHz:      slotMHz,
 			shareCapFor:  opts.ShareCapMBs,
 			waitSlots:    opts.WaitSlots,
 			slotLengthMS: opts.SlotLengthMS,
-		})
+			names:        opts.Warm.nameTable(),
+		}, opts.Warm, pass, opts.Workers, sc, &sc.merged)
 		if err != nil {
 			return totalAdmitted, err
 		}
-		y, _, basis, err := model.solveWarm(opts.Warm.get(pass))
-		if err != nil {
-			return totalAdmitted, err
-		}
-		opts.Warm.put(pass, basis)
-		if len(y) == 0 {
+		if len(sc.merged.y) == 0 {
 			break
 		}
-		pre := roundAssignments(model, y, reqs, rng, opts.RoundingDenominator)
-		admitted := admitSlotBySlot(n, reqs, pre, rng, opts.SlotLengthMS, slotMHz, res, hooks, used, opts.WaitSlots)
+		sc.pre = roundAssignments(sc.merged.vars, sc.merged.byReq, sc.merged.y, reqs, rng, opts.RoundingDenominator, sc.pre[:0])
+		admitted := admitSlotBySlot(n, reqs, sc.pre, rng, opts.SlotLengthMS, slotMHz, res, hooks, used, opts.WaitSlots, sc)
 		totalAdmitted += admitted
 		if admitted == 0 {
 			break

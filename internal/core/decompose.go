@@ -1,0 +1,272 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mecoffload/internal/lp"
+	"mecoffload/internal/mec"
+)
+
+// component is one connected component of the request-station candidate
+// bipartite graph: a variable y_{jil} can only couple a request to a
+// station it is delay-feasible on with positive expected reward, so the
+// slot LP is block-diagonal across components and each block solves
+// independently. key is the smallest station index of the component — the
+// stable shard label the warm cache files the component's basis under.
+type component struct {
+	key      int
+	stations []int // ascending
+	reqs     []int // active request indices, in the caller's active order
+}
+
+// hasCandidate reports whether at least one y_{j,i,l} variable would be
+// created for (request j, station i): the pair is delay-feasible and slot
+// l=1 has positive expected reward. ER_jil is non-increasing in l (the
+// rate ceiling (cap_i - l*C_l)/C_unit shrinks as l grows), so testing
+// l=1 is exact.
+func hasCandidate(n *mec.Network, r *mec.Request, i, wait int, capI, slotMHz, slotLenMS float64) bool {
+	if capI < slotMHz { // L = floor(capI/slotMHz) < 1: no slots at all
+		return false
+	}
+	if !r.DelayFeasible(n, i, wait, slotLenMS) {
+		return false
+	}
+	return r.Dist.RewardMassBelow((capI-slotMHz)/n.CUnit()) > 0
+}
+
+// splitComponents partitions the active requests and their candidate
+// stations into connected components via union-find over stations.
+// Requests with no feasible station appear in no component (the LP has no
+// variable for them; they stay undecided). Components are returned in
+// ascending order of their key, and their station and request lists
+// preserve ascending-station and caller-active order respectively — the
+// orderings the deterministic merge in solveDecomposed relies on.
+func splitComponents(n *mec.Network, reqs []*mec.Request, opts lpOptions, sc *slotScratch) []component {
+	nS := n.NumStations()
+	parent := growInts(&sc.parent, nS)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]] // path halving
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if rb < ra {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra // attach to the smaller root: roots stay minimal
+		}
+	}
+
+	stUsed := growBoolsClear(&sc.stUsed, nS)
+	firstOf := growInts(&sc.firstOf, len(opts.active))
+	capOf := opts.capOf
+	if capOf == nil {
+		capOf = n.Capacity
+	}
+	for k, j := range opts.active {
+		r := reqs[j]
+		wait := 0
+		if opts.waitSlots != nil {
+			wait = opts.waitSlots(j)
+		}
+		first := -1
+		for i := 0; i < nS; i++ {
+			if !hasCandidate(n, r, i, wait, capOf(i), opts.slotMHz, opts.slotLengthMS) {
+				continue
+			}
+			stUsed[i] = true
+			if first < 0 {
+				first = i
+			} else {
+				union(first, i)
+			}
+		}
+		firstOf[k] = first
+	}
+
+	// Components materialize in ascending-min-station order because the
+	// station scan below runs ascending and creates each component at its
+	// smallest member.
+	rootComp := growInts(&sc.rootComp, nS)
+	for i := range rootComp {
+		rootComp[i] = -1
+	}
+	comps := sc.comps[:0]
+	for i := 0; i < nS; i++ {
+		if !stUsed[i] {
+			continue
+		}
+		root := find(i)
+		c := rootComp[root]
+		if c < 0 {
+			c = len(comps)
+			rootComp[root] = c
+			comps = append(comps, component{key: i})
+		}
+		comps[c].stations = append(comps[c].stations, i)
+	}
+	for k, j := range opts.active {
+		if firstOf[k] < 0 {
+			continue
+		}
+		c := rootComp[find(firstOf[k])]
+		comps[c].reqs = append(comps[c].reqs, j)
+	}
+	sc.comps = comps // retain the component-struct backing for reuse
+	return comps
+}
+
+// mergedModel is the deterministic concatenation of the per-component LP
+// solutions, presented in the same shape the rounding step consumed from
+// the monolithic lpModel: a global variable list, per-request variable
+// indices, and the fractional y vector. obj is the sum of component
+// objectives, which equals the monolithic LP optimum because the LP is
+// block-diagonal across components.
+type mergedModel struct {
+	vars  []slotVar
+	byReq [][]int // global request index -> indices into vars
+	y     []float64
+	obj   float64
+}
+
+// reset clears the merged model for a new pass, retaining capacity.
+func (m *mergedModel) reset(numReqs int) {
+	m.vars = m.vars[:0]
+	m.y = m.y[:0]
+	m.obj = 0
+	for j := range m.byReq {
+		m.byReq[j] = m.byReq[j][:0]
+	}
+	for len(m.byReq) < numReqs {
+		m.byReq = append(m.byReq, nil)
+	}
+}
+
+// compSolve is one component's build-and-solve outcome.
+type compSolve struct {
+	model *lpModel
+	y     []float64
+	obj   float64
+	basis *lp.Basis
+	err   error
+}
+
+// solveDecomposed builds and solves the slot LP component by component on
+// a bounded worker pool, each component warm-started from its own shard's
+// basis, and merges the results into m in ascending component-key order.
+// The merged output is bit-identical for every workers value: components
+// are solved independently (the LP is block-diagonal) and the merge order
+// is fixed, so parallelism changes wall-clock time and nothing else.
+func solveDecomposed(n *mec.Network, reqs []*mec.Request, opts lpOptions, warm *WarmCache, pass, workers int, sc *slotScratch, m *mergedModel) error {
+	if opts.slotLengthMS == 0 {
+		opts.slotLengthMS = mec.DefaultSlotLengthMS
+	}
+	if opts.slotMHz <= 0 {
+		opts.slotMHz = n.SlotMHz()
+	}
+	if opts.active == nil {
+		all := growInts(&sc.activeAll, len(reqs))
+		for j := range all {
+			all[j] = j
+		}
+		opts.active = all
+	}
+	m.reset(len(reqs))
+	comps := splitComponents(n, reqs, opts, sc)
+	if len(comps) == 0 {
+		return nil
+	}
+
+	// Resolve every component's warm-start seed before the workers launch:
+	// lookups allow a nearest-shard fallback, and resolving them against a
+	// fixed pre-pass cache snapshot keeps the seeds — and therefore the
+	// chosen optimal vertices — identical for every worker count.
+	results := make([]compSolve, len(comps))
+	seeds := make([]*lp.Basis, len(comps))
+	for k := range comps {
+		seeds[k] = warm.getNear(pass, comps[k].key)
+	}
+	solveOne := func(k int) {
+		comp := comps[k]
+		copts := opts
+		copts.active = comp.reqs
+		copts.stations = comp.stations
+		copts.byReq = m.byReq // disjoint request sets: no write overlap
+		model, err := buildLP(n, reqs, copts)
+		if err != nil {
+			results[k] = compSolve{err: err}
+			return
+		}
+		y, obj, basis, err := model.solveWarm(seeds[k])
+		if err != nil {
+			results[k] = compSolve{model: model, err: err}
+			return
+		}
+		warm.put(pass, comp.key, basis)
+		results[k] = compSolve{model: model, y: y, obj: obj, basis: basis}
+	}
+	forEachParallel(len(comps), workers, solveOne)
+
+	// Deterministic merge: components in key order, local variable indices
+	// rebased onto the global concatenation.
+	for k := range results {
+		r := &results[k]
+		if r.err != nil {
+			return r.err
+		}
+		offset := len(m.vars)
+		m.vars = append(m.vars, r.model.vars...)
+		m.y = append(m.y, r.y...)
+		m.obj += r.obj
+		if offset == 0 {
+			continue
+		}
+		for _, j := range comps[k].reqs {
+			idxs := m.byReq[j]
+			for t := range idxs {
+				idxs[t] += offset
+			}
+		}
+	}
+	return nil
+}
+
+// forEachParallel runs f(0..n-1) on at most `workers` goroutines. workers
+// <= 1 runs inline. The iteration set is fixed up front, so the result is
+// independent of how indices are interleaved across workers.
+func forEachParallel(n, workers int, f func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

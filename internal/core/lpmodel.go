@@ -48,6 +48,17 @@ type lpOptions struct {
 	waitSlots func(req int) int
 	// slotLengthMS converts waitSlots into milliseconds.
 	slotLengthMS float64
+	// stations restricts variable and capacity-row creation to these
+	// station indices (ascending); nil means all. The per-component
+	// decomposition uses it to build one block of the block-diagonal LP.
+	stations []int
+	// names, when non-nil, interns row/column names across slots.
+	names *nameCache
+	// byReq, when non-nil, is used as the model's byReq backing instead of
+	// allocating one (entries for active requests must be length-0 and
+	// len(byReq) >= len(reqs)). Concurrent component builds share one
+	// backing: their active sets are disjoint, so the writes never overlap.
+	byReq [][]int
 }
 
 // buildLP constructs the resource-slot-indexed relaxation LP (Section
@@ -90,9 +101,20 @@ func buildLP(n *mec.Network, reqs []*mec.Request, opts lpOptions) (*lpModel, err
 	if slotMHz <= 0 {
 		slotMHz = n.SlotMHz()
 	}
+	stations := opts.stations
+	if stations == nil {
+		stations = make([]int, n.NumStations())
+		for i := range stations {
+			stations[i] = i
+		}
+	}
 
 	prob := lp.NewProblem(lp.Maximize)
-	m := &lpModel{prob: prob, byReq: make([][]int, len(reqs))}
+	byReq := opts.byReq
+	if byReq == nil {
+		byReq = make([][]int, len(reqs))
+	}
+	m := &lpModel{prob: prob, byReq: byReq}
 
 	for _, j := range active {
 		r := reqs[j]
@@ -100,7 +122,7 @@ func buildLP(n *mec.Network, reqs []*mec.Request, opts lpOptions) (*lpModel, err
 		if opts.waitSlots != nil {
 			wait = opts.waitSlots(j)
 		}
-		for i := 0; i < n.NumStations(); i++ {
+		for _, i := range stations {
 			// Constraint (11): drop stations that cannot meet the
 			// deadline even with the current waiting time.
 			if !r.DelayFeasible(n, i, wait, opts.slotLengthMS) {
@@ -115,7 +137,7 @@ func buildLP(n *mec.Network, reqs []*mec.Request, opts lpOptions) (*lpModel, err
 				if er <= 0 {
 					continue
 				}
-				v := prob.AddVariable(fmt.Sprintf("y[%d,%d,%d]", j, i, l), er)
+				v := prob.AddVariable(opts.names.yName(j, i, l), er)
 				idx := len(m.vars)
 				m.vars = append(m.vars, slotVar{req: j, station: i, slot: l, er: er, v: v})
 				m.byReq[j] = append(m.byReq[j], idx)
@@ -137,14 +159,14 @@ func buildLP(n *mec.Network, reqs []*mec.Request, opts lpOptions) (*lpModel, err
 		for _, idx := range m.byReq[j] {
 			terms = append(terms, lp.Term{Var: m.vars[idx].v, Coef: 1})
 		}
-		if _, err := prob.AddConstraint(fmt.Sprintf("assign[%d]", j), lp.LE, 1, terms...); err != nil {
+		if _, err := prob.AddConstraint(opts.names.assignName(j), lp.LE, 1, terms...); err != nil {
 			return nil, err
 		}
 	}
 
 	// Constraint (10) per (station, slot): truncated expected occupancy of
 	// all variables starting at or below slot l is at most 2*l*C_l/C_unit.
-	for i := 0; i < n.NumStations(); i++ {
+	for _, i := range stations {
 		L := int(capOf(i) / slotMHz)
 		for l := 1; l <= L; l++ {
 			slotCap := float64(l) * slotMHz / n.CUnit() // l*C_l/C_unit in MB/s
@@ -169,7 +191,7 @@ func buildLP(n *mec.Network, reqs []*mec.Request, opts lpOptions) (*lpModel, err
 			if len(terms) == 0 {
 				continue
 			}
-			if _, err := prob.AddConstraint(fmt.Sprintf("cap[%d,%d]", i, l), lp.LE, 2*slotCap, terms...); err != nil {
+			if _, err := prob.AddConstraint(opts.names.capName(i, l), lp.LE, 2*slotCap, terms...); err != nil {
 				return nil, err
 			}
 		}

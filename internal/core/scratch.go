@@ -1,0 +1,68 @@
+package core
+
+import "sync"
+
+// slotScratch bundles the reusable buffers of one scheduling call:
+// the decomposition's union-find arrays, the merged LP view, and the
+// rounding/admission work lists. ScheduleBatch and runRounding borrow one
+// from slotScratchPool per call, so a long-running daemon's per-slot
+// scheduling amortizes to (near) zero steady-state allocations outside
+// the simplex itself.
+type slotScratch struct {
+	// decomposition
+	parent    []int
+	stUsed    []bool
+	firstOf   []int
+	rootComp  []int
+	comps     []component
+	activeAll []int
+
+	// merged LP view shared across rounding passes
+	merged mergedModel
+
+	// rounding/admission
+	undecided []int
+	inBatch   []bool
+	pre       []tentative
+	base      []float64
+}
+
+var slotScratchPool = sync.Pool{New: func() any { return new(slotScratch) }}
+
+func getSlotScratch() *slotScratch   { return slotScratchPool.Get().(*slotScratch) }
+func putSlotScratch(sc *slotScratch) { slotScratchPool.Put(sc) }
+
+// growInts resizes *buf to n without clearing (callers overwrite).
+func growInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// growBoolsClear resizes *buf to n and clears it.
+func growBoolsClear(buf *[]bool, n int) []bool {
+	if cap(*buf) < n {
+		*buf = make([]bool, n)
+	}
+	*buf = (*buf)[:n]
+	b := *buf
+	for i := range b {
+		b[i] = false
+	}
+	return b
+}
+
+// growFloatsClear resizes *buf to n and clears it.
+func growFloatsClear(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	b := *buf
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}

@@ -2,27 +2,52 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"mecoffload/internal/lp"
 )
 
+// warmKey addresses one stored basis: the rounding-pass index plus the
+// shard the basis belongs to. A shard is one connected component of the
+// request-station candidate graph, identified by its smallest station
+// index — the only label that is stable while arrivals and departures
+// reshape the component around it.
+type warmKey struct {
+	pass  int
+	shard int
+}
+
 // WarmCache carries optimal LP bases across structurally similar solves:
 // consecutive time slots of the online LP-PT, repetitions of the same
 // experiment grid cell, or successive rounding passes of Appro/Heu. One
-// basis is kept per rounding-pass index, because pass k of one run is
+// basis is kept per (rounding pass, shard): pass k of one run is
 // structurally closest to pass k of the next (same slot grid, similar
-// residual shape). A nil *WarmCache is valid and disables warm starting;
-// a non-nil cache is safe for concurrent use (the experiment sweep runs
-// repetitions of one cell on several workers).
+// residual shape), and the per-component decomposition solves each shard
+// independently, so each worker warm-starts from its own shard's basis
+// without contending for the others.
+//
+// A nil *WarmCache is valid and disables warm starting. A non-nil cache
+// is safe for concurrent use by the solver worker pool: lookups take a
+// read lock on the key map and load an atomic pointer, so concurrent
+// get/put on different shards never serialize on one mutex (the write
+// lock is only taken the first time a key appears).
 type WarmCache struct {
-	mu     sync.Mutex
-	byPass []*lp.Basis
-	hits   uint64
-	misses uint64
+	hits   atomic.Uint64
+	misses atomic.Uint64
+
+	mu    sync.RWMutex
+	slots map[warmKey]*atomic.Pointer[lp.Basis]
+
+	// names interns LP row/column names across slots so the per-slot
+	// rebuild of structurally identical problems does not re-allocate
+	// thousands of identical strings.
+	names nameCache
 }
 
 // NewWarmCache returns an empty cache.
-func NewWarmCache() *WarmCache { return &WarmCache{} }
+func NewWarmCache() *WarmCache {
+	return &WarmCache{slots: make(map[warmKey]*atomic.Pointer[lp.Basis])}
+}
 
 // Stats returns how many basis lookups found a seed basis (hits) versus
 // fell back to a cold solve (misses). The serving daemon exports the
@@ -31,37 +56,105 @@ func (c *WarmCache) Stats() (hits, misses uint64) {
 	if c == nil {
 		return 0, 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits.Load(), c.misses.Load()
 }
 
-// get returns the stored basis for a rounding pass (nil when absent).
-func (c *WarmCache) get(pass int) *lp.Basis {
+// get returns the stored basis for a (rounding pass, shard) pair (nil
+// when absent). Safe for concurrent use.
+func (c *WarmCache) get(pass, shard int) *lp.Basis {
 	if c == nil {
 		return nil
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if pass < 0 || pass >= len(c.byPass) || c.byPass[pass] == nil {
-		c.misses++
+	c.mu.RLock()
+	p := c.slots[warmKey{pass: pass, shard: shard}]
+	c.mu.RUnlock()
+	if p == nil {
+		c.misses.Add(1)
 		return nil
 	}
-	c.hits++
-	return c.byPass[pass]
+	b := p.Load()
+	if b == nil {
+		c.misses.Add(1)
+		return nil
+	}
+	c.hits.Add(1)
+	return b
 }
 
-// put stores the optimal basis of a rounding pass, replacing any previous
-// one (latest wins: the most recent solve is structurally closest to the
-// next).
-func (c *WarmCache) put(pass int, b *lp.Basis) {
+// getNear returns the stored basis for (pass, shard), falling back to the
+// same pass's entry with the nearest shard key when the exact key is
+// absent. Components are labeled by their smallest station, so the label
+// drifts when that station saturates out of the candidate graph; the
+// nearest stored basis still covers mostly the same rows and columns, and
+// the name-based resolution simply drops whatever no longer applies. The
+// fallback choice is deterministic (smallest distance, then smallest
+// shard). Safe for concurrent use, but determinism across worker counts
+// additionally requires that no put for the same pass runs concurrently —
+// solveDecomposed therefore resolves all seeds before its workers start.
+func (c *WarmCache) getNear(pass, shard int) *lp.Basis {
+	if c == nil {
+		return nil
+	}
+	c.mu.RLock()
+	p := c.slots[warmKey{pass: pass, shard: shard}]
+	if p == nil {
+		bestDist, bestShard := -1, -1
+		for k, cand := range c.slots {
+			if k.pass != pass || cand.Load() == nil {
+				continue
+			}
+			d := k.shard - shard
+			if d < 0 {
+				d = -d
+			}
+			if bestDist < 0 || d < bestDist || (d == bestDist && k.shard < bestShard) {
+				p = cand
+				bestDist, bestShard = d, k.shard
+			}
+		}
+	}
+	c.mu.RUnlock()
+	if p == nil {
+		c.misses.Add(1)
+		return nil
+	}
+	b := p.Load()
+	if b == nil {
+		c.misses.Add(1)
+		return nil
+	}
+	c.hits.Add(1)
+	return b
+}
+
+// put stores the optimal basis of a (rounding pass, shard) pair,
+// replacing any previous one (latest wins: the most recent solve is
+// structurally closest to the next). Safe for concurrent use.
+func (c *WarmCache) put(pass, shard int, b *lp.Basis) {
 	if c == nil || b == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for len(c.byPass) <= pass {
-		c.byPass = append(c.byPass, nil)
+	k := warmKey{pass: pass, shard: shard}
+	c.mu.RLock()
+	p := c.slots[k]
+	c.mu.RUnlock()
+	if p == nil {
+		c.mu.Lock()
+		p = c.slots[k]
+		if p == nil {
+			p = &atomic.Pointer[lp.Basis]{}
+			c.slots[k] = p
+		}
+		c.mu.Unlock()
 	}
-	c.byPass[pass] = b
+	p.Store(b)
+}
+
+// nameTable returns the cache's interned-name table (nil receiver safe:
+// a nil cache means names are formatted on the fly).
+func (c *WarmCache) nameTable() *nameCache {
+	if c == nil {
+		return nil
+	}
+	return &c.names
 }

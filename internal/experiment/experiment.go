@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"mecoffload/internal/baseline"
 	"mecoffload/internal/core"
@@ -229,17 +230,13 @@ func runOnline(inst *instance, algo string, seed int64, horizon int, audit bool)
 	return res, nil
 }
 
-// job is one (row, algorithm, repetition) work unit of a sweep.
-type job struct {
-	row  int
-	algo string
-	rep  int
-}
-
-// cellKey identifies one (x, algorithm) grid cell of a sweep.
-type cellKey struct {
-	row  int
-	algo string
+// cellJob is one (row, algorithm) grid cell of a sweep — the unit of
+// parallelism. A cell's repetitions run sequentially inside its job so
+// the chain of LP warm-start bases they share is identical for every
+// worker count.
+type cellJob struct {
+	row     int
+	algoIdx int
 }
 
 // sweep runs a generic experiment grid in parallel and aggregates cells.
@@ -248,6 +245,13 @@ type cellKey struct {
 //   - run(inst, algo, rep, warm) executes one algorithm; warm is the
 //     cell's shared LP warm-start cache (repetitions of one cell solve
 //     structurally identical LPs, so their bases transfer).
+//
+// Determinism contract: the produced Table is identical for every
+// Options.Parallel value (wall-clock RuntimeMS aside). Cells are
+// independent — each owns its warm cache and derives its rngs from
+// (x, rep) only — and results are aggregated after a barrier in fixed
+// (row, algorithm, repetition) order, so neither worker count nor
+// completion order can reorder a Summary's Add sequence.
 func sweep(opts Options, tbl *Table, xs []float64,
 	makeInstance func(x float64, rep int) (*instance, error),
 	run func(inst *instance, algo string, x float64, rep int, warm *core.WarmCache) (*core.Result, error)) error {
@@ -257,66 +261,78 @@ func sweep(opts Options, tbl *Table, xs []float64,
 		tbl.Rows[i] = Row{X: x}
 	}
 
-	// One warm cache per grid cell, built before the workers start so the
-	// map itself is read-only under concurrency (the caches lock
-	// internally).
-	warms := make(map[cellKey]*core.WarmCache, len(xs)*len(tbl.Algorithms))
-	var jobs []job
+	jobs := make([]cellJob, 0, len(xs)*len(tbl.Algorithms))
 	for i := range xs {
-		for _, algo := range tbl.Algorithms {
-			warms[cellKey{row: i, algo: algo}] = core.NewWarmCache()
-			for rep := 0; rep < opts.Repetitions; rep++ {
-				jobs = append(jobs, job{row: i, algo: algo, rep: rep})
-			}
+		for a := range tbl.Algorithms {
+			jobs = append(jobs, cellJob{row: i, algoIdx: a})
 		}
 	}
-
-	type outcome struct {
-		job job
-		res *core.Result
-		err error
+	results := make([][]*core.Result, len(jobs)) // per job, then per rep
+	errs := make([]error, len(jobs))
+	runJob := func(k int) {
+		jb := jobs[k]
+		algo := tbl.Algorithms[jb.algoIdx]
+		warm := core.NewWarmCache()
+		out := make([]*core.Result, 0, opts.Repetitions)
+		for rep := 0; rep < opts.Repetitions; rep++ {
+			inst, err := makeInstance(xs[jb.row], rep)
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			res, err := run(inst, algo, xs[jb.row], rep, warm)
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			out = append(out, res)
+		}
+		results[k] = out
 	}
-	jobCh := make(chan job)
-	outCh := make(chan outcome)
-	var wg sync.WaitGroup
-	for w := 0; w < opts.Parallel; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for jb := range jobCh {
-				inst, err := makeInstance(xs[jb.row], jb.rep)
-				if err != nil {
-					outCh <- outcome{job: jb, err: err}
-					continue
+
+	workers := opts.Parallel
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for k := range jobs {
+			runJob(k)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					k := int(next.Add(1)) - 1
+					if k >= len(jobs) {
+						return
+					}
+					runJob(k)
 				}
-				warm := warms[cellKey{row: jb.row, algo: jb.algo}]
-				res, err := run(inst, jb.algo, xs[jb.row], jb.rep, warm)
-				outCh <- outcome{job: jb, res: res, err: err}
-			}
-		}()
-	}
-	go func() {
-		for _, jb := range jobs {
-			jobCh <- jb
+			}()
 		}
-		close(jobCh)
 		wg.Wait()
-		close(outCh)
-	}()
+	}
 
+	// Deterministic aggregation: fixed (row, algorithm, repetition) order.
 	var firstErr error
-	for out := range outCh {
-		if out.err != nil {
+	for k, jb := range jobs {
+		if errs[k] != nil {
 			if firstErr == nil {
-				firstErr = out.err
+				firstErr = errs[k]
 			}
 			continue
 		}
-		c := tbl.Rows[out.job.row].cell(out.job.algo)
-		c.Reward.Add(out.res.TotalReward)
-		c.LatencyMS.Add(out.res.AvgLatencyMS())
-		c.RuntimeMS.Add(float64(out.res.Runtime.Microseconds()) / 1000)
-		c.Served.Add(float64(out.res.Served))
+		c := tbl.Rows[jb.row].cell(tbl.Algorithms[jb.algoIdx])
+		for _, res := range results[k] {
+			c.Reward.Add(res.TotalReward)
+			c.LatencyMS.Add(res.AvgLatencyMS())
+			c.RuntimeMS.Add(float64(res.Runtime.Microseconds()) / 1000)
+			c.Served.Add(float64(res.Served))
+		}
 	}
 	return firstErr
 }

@@ -1,9 +1,11 @@
 package experiment
 
 import (
+	"fmt"
 	"math/rand"
 
 	"mecoffload/internal/core"
+	"mecoffload/internal/rnd"
 	"mecoffload/internal/workload"
 )
 
@@ -11,15 +13,18 @@ import (
 func defaultXRequests() []float64 { return []float64{100, 150, 200, 250, 300} }
 
 // instSeed derives the instance seed for an (experiment, x, rep) triple so
-// every algorithm in one cell sees the same topology and workload.
+// every algorithm in one cell sees the same topology and workload. Labeled
+// derivation (rnd.Derive) makes each cell's streams a pure function of its
+// grid coordinates: no arithmetic carry can collide two cells, and the
+// seed a cell sees never depends on which worker ran it.
 func instSeed(base int64, fig, xi, rep int) int64 {
-	return base + int64(fig)*1_000_000 + int64(xi)*10_000 + int64(rep)
+	return rnd.Derive(base, fmt.Sprintf("inst/fig%d/x%d/rep%d", fig, xi, rep))
 }
 
 // runSeed derives the realization seed; it differs per algorithm index so
 // no algorithm can "peek" at another's rate draws.
 func runSeed(base int64, fig, xi, rep, algoIdx int) int64 {
-	return instSeed(base, fig, xi, rep)*31 + int64(algoIdx) + 7
+	return rnd.Derive(base, fmt.Sprintf("run/fig%d/x%d/rep%d/algo%d", fig, xi, rep, algoIdx))
 }
 
 // algoIndex locates an algorithm in a table's column order.

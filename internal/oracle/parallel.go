@@ -1,0 +1,103 @@
+package oracle
+
+import (
+	"fmt"
+	"reflect"
+
+	"mecoffload/internal/core"
+	"mecoffload/internal/mec"
+	"mecoffload/internal/rnd"
+	"mecoffload/internal/sim"
+	"mecoffload/internal/workload"
+)
+
+// DiffParallelSequential is the parallel pipeline's determinism oracle
+// for the online path: it runs DynamicRR over the same workload twice —
+// once with the per-slot LP solved on a single worker, once with the
+// component solves fanned out over `workers` goroutines — and requires
+// the two runs to agree decision for decision: identical admission
+// tables, identical per-slot reward vectors, identical totals. The
+// engine's invariant checker stays installed in both runs, so the
+// parallel run also satisfies every conservation law, not merely parity
+// with the sequential one.
+func DiffParallelSequential(n *mec.Network, reqs []*mec.Request, seed int64, cfg sim.Config, workers int) error {
+	if workers < 2 {
+		return fmt.Errorf("oracle: parallel diff needs workers >= 2, got %d", workers)
+	}
+	run := func(w int) (*core.Result, []float64, error) {
+		sched, err := sim.NewDynamicRR(sim.DynamicRROptions{Workers: w})
+		if err != nil {
+			return nil, nil, err
+		}
+		eng, err := sim.NewEngine(n, workload.Clone(reqs), rnd.New(seed, "engine"), cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		eng.SetStepChecker(EngineChecker())
+		res, err := eng.Run(sched)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res, eng.SlotRewards(), nil
+	}
+	seq, seqRew, err := run(1)
+	if err != nil {
+		return fmt.Errorf("oracle: sequential run: %w", err)
+	}
+	par, parRew, err := run(workers)
+	if err != nil {
+		return fmt.Errorf("oracle: parallel run (workers=%d): %w", workers, err)
+	}
+	if seq.TotalReward != par.TotalReward {
+		return fmt.Errorf("oracle: workers=1 total reward %v, workers=%d %v", seq.TotalReward, workers, par.TotalReward)
+	}
+	if !reflect.DeepEqual(seqRew, parRew) {
+		return fmt.Errorf("oracle: slot reward vectors diverge between workers=1 and workers=%d", workers)
+	}
+	for j := range seq.Decisions {
+		if !reflect.DeepEqual(seq.Decisions[j], par.Decisions[j]) {
+			return fmt.Errorf("oracle: decision %d diverges between workers=1 and workers=%d: %+v vs %+v",
+				j, workers, seq.Decisions[j], par.Decisions[j])
+		}
+	}
+	return nil
+}
+
+// DiffParallelSequentialOffline is the offline counterpart: one
+// core.Heu run per worker count over cloned requests and identical rngs.
+// Beyond decision parity it requires the fractional LP bound to match
+// exactly — the per-component objectives of the decomposed solve must
+// sum to the monolithic optimum, so any drift there means the
+// decomposition split a constraint it should not have.
+func DiffParallelSequentialOffline(n *mec.Network, reqs []*mec.Request, seed int64, workers int) error {
+	if workers < 2 {
+		return fmt.Errorf("oracle: parallel diff needs workers >= 2, got %d", workers)
+	}
+	run := func(w int) (*core.Result, error) {
+		return core.Heu(n, workload.Clone(reqs), rnd.New(seed, "heu"), core.HeuOptions{
+			Warm:    core.NewWarmCache(),
+			Workers: w,
+		})
+	}
+	seq, err := run(1)
+	if err != nil {
+		return fmt.Errorf("oracle: sequential Heu: %w", err)
+	}
+	par, err := run(workers)
+	if err != nil {
+		return fmt.Errorf("oracle: parallel Heu (workers=%d): %w", workers, err)
+	}
+	if seq.ExpectedLPBound != par.ExpectedLPBound {
+		return fmt.Errorf("oracle: workers=1 LP bound %v, workers=%d %v", seq.ExpectedLPBound, workers, par.ExpectedLPBound)
+	}
+	if seq.TotalReward != par.TotalReward {
+		return fmt.Errorf("oracle: workers=1 total reward %v, workers=%d %v", seq.TotalReward, workers, par.TotalReward)
+	}
+	for j := range seq.Decisions {
+		if !reflect.DeepEqual(seq.Decisions[j], par.Decisions[j]) {
+			return fmt.Errorf("oracle: decision %d diverges between workers=1 and workers=%d: %+v vs %+v",
+				j, workers, seq.Decisions[j], par.Decisions[j])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+// Package prof wires the standard runtime/pprof CPU and allocation
+// profiles behind the -cpuprofile/-memprofile flags the cmd binaries
+// share, so a slow sweep or a leaking slot path can be profiled without
+// recompiling.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpuPath is non-empty and returns a
+// stop function that must be called exactly once, after the profiled
+// work finishes: it stops the CPU profile and, when memPath is
+// non-empty, writes an allocation profile (after a GC, so the live-heap
+// numbers are settled). Either path may be empty; Start(nil-equivalent)
+// returns a no-op stop.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: starting CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: closing CPU profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+			runtime.GC()
+			werr := pprof.Lookup("allocs").WriteTo(f, 0)
+			cerr := f.Close()
+			if werr != nil {
+				return fmt.Errorf("prof: writing allocation profile: %w", werr)
+			}
+			if cerr != nil {
+				return fmt.Errorf("prof: closing allocation profile: %w", cerr)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,29 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRunSlotIdleNoAllocs pins the daemon's steady-state hot path: an
+// idle slot (no pending requests, no running streams) must execute
+// without heap allocations — no event buffers, no shard messages, no
+// reply channels. The test drives runSlot directly on an unstarted
+// engine; idle-skip publishing means no channel sends happen, so the
+// absent shard goroutines are never needed.
+func TestRunSlotIdleNoAllocs(t *testing.T) {
+	if oracleEnv() {
+		t.Skip("MEC_ORACLE installs a per-slot checker that allocates")
+	}
+	e, err := New(Config{Net: testNetwork(t, 4), Rng: rand.New(rand.NewSource(42))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() { e.runSlot() })
+	if allocs != 0 {
+		t.Fatalf("idle runSlot allocated %.1f times per slot, want 0", allocs)
+	}
+	if got := e.metrics.SlotErrors.Load(); got != 0 {
+		t.Fatalf("idle slots recorded %d scheduler errors, want 0", got)
+	}
+}

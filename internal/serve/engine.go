@@ -490,17 +490,30 @@ func (e *Engine) BanditSnapshot() (*bandit.LipschitzSnapshot, error) {
 	return d.Bandit().Snapshot()
 }
 
+// Reply channels for Submit and control calls are pooled: both run once
+// per request or per tick, and each would otherwise allocate a fresh
+// one-slot channel. A channel returns to its pool only after the normal
+// reply is received; abandoned channels (loop exit races) are simply
+// dropped for the GC, since the loop may still hold a reference.
+var (
+	intakeReplyPool = sync.Pool{New: func() any { return make(chan intakeReply, 1) }}
+	ctlReplyPool    = sync.Pool{New: func() any { return make(chan error, 1) }}
+)
+
 // Submit queues a request for the next scheduling slot and returns its
 // externally visible id.
 func (e *Engine) Submit(spec RequestSpec) (uint64, int, error) {
-	msg := intakeMsg{spec: spec, reply: make(chan intakeReply, 1)}
+	reply := intakeReplyPool.Get().(chan intakeReply)
+	msg := intakeMsg{spec: spec, reply: reply}
 	select {
 	case e.intake <- msg:
 	case <-e.loopDone:
+		intakeReplyPool.Put(reply) // never enqueued: safe to reuse
 		return 0, 0, ErrStopped
 	}
 	select {
 	case rep := <-msg.reply:
+		intakeReplyPool.Put(reply)
 		return rep.id, rep.slot, rep.err
 	case <-e.loopDone:
 		return 0, 0, ErrStopped
@@ -626,14 +639,17 @@ func (e *Engine) Ready() bool {
 
 // controlCall sends a control message and waits for the loop's reply.
 func (e *Engine) controlCall(kind controlKind) error {
-	msg := controlMsg{kind: kind, reply: make(chan error, 1)}
+	reply := ctlReplyPool.Get().(chan error)
+	msg := controlMsg{kind: kind, reply: reply}
 	select {
 	case e.control <- msg:
 	case <-e.loopDone:
+		ctlReplyPool.Put(reply) // never enqueued: safe to reuse
 		return ErrStopped
 	}
 	select {
 	case err := <-msg.reply:
+		ctlReplyPool.Put(reply)
 		return err
 	case <-e.loopDone:
 		return ErrStopped
@@ -755,9 +771,15 @@ func (e *Engine) runSlot() {
 		e.cfg.SlotObserver(rep)
 	}
 
-	// Fold the slot report into metrics and shard events.
-	events := make(map[int][]requestEvent)
+	// Fold the slot report into metrics and shard events. The per-shard
+	// event slices allocate only on slots that actually produce events, so
+	// an idle slot (no arrivals, departures, or admissions) runs
+	// allocation-free.
+	var events [][]requestEvent
 	push := func(ev requestEvent) {
+		if events == nil {
+			events = make([][]requestEvent, len(e.shards))
+		}
 		s := int(ev.id) % len(e.shards)
 		events[s] = append(events[s], ev)
 	}
@@ -777,9 +799,15 @@ func (e *Engine) runSlot() {
 		}
 		e.metrics.Expired.Inc()
 	}
-	served := make(map[int]bool, len(rep.Served))
-	for _, j := range rep.Served {
-		served[j] = true
+	// rep.Served is a (small) subset of rep.Admitted; a linear membership
+	// scan avoids a per-slot map allocation.
+	isServed := func(j int) bool {
+		for _, s := range rep.Served {
+			if s == j {
+				return true
+			}
+		}
+		return false
 	}
 	for _, j := range rep.Admitted {
 		e.metrics.Admitted.Inc()
@@ -788,7 +816,7 @@ func (e *Engine) runSlot() {
 			continue
 		}
 		d := e.res.Decisions[j]
-		if served[j] {
+		if isServed(j) {
 			le.running = true
 			push(requestEvent{id: le.ext, kind: evServing, slot: t, station: d.Station, reward: d.Reward, latencyMS: d.LatencyMS})
 			e.metrics.Served.Inc()
@@ -807,13 +835,29 @@ func (e *Engine) runSlot() {
 	e.metrics.LastTickNano.Store(time.Now().UnixNano())
 
 	// Publish per-station occupancy and the request events to the shards.
+	// Occupancy only moves when streams start or end, so an idle slot sends
+	// nothing at all: the shards' gauges are still exact and the loop's hot
+	// path stays free of channel traffic (and of the interface boxing a
+	// slotMsg send implies).
 	used := e.planner.Used()
-	for s, sh := range e.shards {
-		var su []stationUsed
-		for i := s; i < len(used); i += len(e.shards) {
-			su = append(su, stationUsed{station: i, usedMHz: used[i]})
+	dirty := len(rep.Departed) > 0 || len(rep.Admitted) > 0
+	if dirty || events != nil {
+		for s, sh := range e.shards {
+			var su []stationUsed
+			if dirty {
+				for i := s; i < len(used); i += len(e.shards) {
+					su = append(su, stationUsed{station: i, usedMHz: used[i]})
+				}
+			}
+			var evs []requestEvent
+			if events != nil {
+				evs = events[s]
+			}
+			if su == nil && evs == nil {
+				continue
+			}
+			sh.cmds <- slotMsg{used: su, events: evs}
 		}
-		sh.cmds <- slotMsg{used: su, events: events[s]}
 	}
 
 	// Per-slot trace line, format-compatible with arsim -trace.

@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"mecoffload/internal/core"
+)
+
+// TestStepIdleNoAllocs pins the steady-state slot path: a Step over an
+// empty pending queue with no departing streams must not allocate. Idle
+// slots dominate a long-running daemon's life, so any per-slot garbage
+// here multiplies by the tick rate.
+func TestStepIdleNoAllocs(t *testing.T) {
+	net := liveTestNetwork(t, 4)
+	eng, err := NewLiveEngine(net, rand.New(rand.NewSource(1)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := NewDynamicRR(DynamicRROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &core.Result{Algorithm: sched.Name()}
+
+	slot := 0
+	var stepErr error
+	allocs := testing.AllocsPerRun(200, func() {
+		_, _, err := eng.Step(sched, res, slot, nil)
+		if err != nil && stepErr == nil {
+			stepErr = err
+		}
+		slot++
+	})
+	if stepErr != nil {
+		t.Fatal(stepErr)
+	}
+	if allocs != 0 {
+		t.Fatalf("idle Step allocated %.1f times per slot, want 0", allocs)
+	}
+}

@@ -3,7 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"mecoffload/internal/bandit"
 	"mecoffload/internal/core"
@@ -43,6 +43,10 @@ type DynamicRROptions struct {
 	Passes int
 	// RoundingDenominator mirrors core.ApproOptions (default 4).
 	RoundingDenominator float64
+	// Workers bounds the goroutines solving independent components of the
+	// per-slot LP-PT concurrently (0 or 1 = serial). Scheduling decisions
+	// are bit-identical for every value; see core.BatchOptions.Workers.
+	Workers int
 }
 
 // DynamicRR is Algorithm 3: the online learning scheduler for the dynamic
@@ -67,6 +71,10 @@ type DynamicRR struct {
 	// occupancy, so the previous slot's optimal basis re-solves in a few
 	// pivots.
 	warm *core.WarmCache
+	// sortedBuf and admittedBuf are per-slot scratch reused across
+	// Schedule calls so the steady-state slot path stops allocating.
+	sortedBuf   []int
+	admittedBuf []int
 }
 
 var _ Scheduler = (*DynamicRR)(nil)
@@ -138,14 +146,19 @@ func (d *DynamicRR) Schedule(eng *Engine, res *core.Result, t int, pending []int
 
 	// Step 10-11: increasing expected data rate; admit into R_t while the
 	// average share of the free capacity stays at least C^th.
-	sorted := append([]int(nil), pending...)
+	d.sortedBuf = append(d.sortedBuf[:0], pending...)
+	sorted := d.sortedBuf
 	reqs := eng.Requests()
-	sort.Slice(sorted, func(a, b int) bool {
-		ra, rb := reqs[sorted[a]].ExpectedRate(), reqs[sorted[b]].ExpectedRate()
-		if ra != rb {
-			return ra < rb
+	slices.SortFunc(sorted, func(a, b int) int {
+		ra, rb := reqs[a].ExpectedRate(), reqs[b].ExpectedRate()
+		switch {
+		case ra < rb:
+			return -1
+		case ra > rb:
+			return 1
+		default:
+			return a - b
 		}
-		return sorted[a] < sorted[b]
 	})
 	nMax := int(eng.FreeCapacity() / cth)
 	if nMax <= 0 {
@@ -172,16 +185,20 @@ func (d *DynamicRR) Schedule(eng *Engine, res *core.Result, t int, pending []int
 		Passes:              d.opts.Passes,
 		Distribute:          true,
 		Warm:                d.warm,
+		Workers:             d.opts.Workers,
 	})
 	if err != nil {
 		return nil, err
 	}
-	admitted := make([]int, 0, len(sorted))
+	// The returned slice is read within the same Step and not retained;
+	// reusing the buffer keeps the steady-state slot path allocation-free.
+	admitted := d.admittedBuf[:0]
 	for _, j := range sorted {
 		if res.Decisions[j].Admitted {
 			admitted = append(admitted, j)
 		}
 	}
+	d.admittedBuf = admitted
 	return admitted, nil
 }
 

@@ -82,6 +82,8 @@ type Engine struct {
 	// slotRewards[t] is the realized reward credited at slot t; the regret
 	// experiment compares its prefix sums across policies.
 	slotRewards []float64
+	// overloaded is settle's per-station scratch, reused across slots.
+	overloaded []bool
 	// check, when set, is invoked at the end of every Step (see
 	// SetStepChecker).
 	check StepChecker
@@ -334,19 +336,7 @@ func (e *Engine) Step(sched Scheduler, res *core.Result, t int, pending []int) (
 
 	// Expire pending requests that can no longer meet their deadline
 	// anywhere, even if scheduled right now (they remain rejected).
-	before := append([]int(nil), pending...)
-	pending = e.expire(pending, t)
-	if len(pending) < len(before) {
-		kept := make(map[int]bool, len(pending))
-		for _, j := range pending {
-			kept[j] = true
-		}
-		for _, j := range before {
-			if !kept[j] {
-				rep.Expired = append(rep.Expired, j)
-			}
-		}
-	}
+	pending = e.expire(pending, t, &rep)
 	var info StepInfo
 	if e.check != nil {
 		info = StepInfo{Sched: sched, FreeBeforeMHz: e.FreeCapacity()}
@@ -431,8 +421,9 @@ func (e *Engine) release(t int) []int {
 
 // expire drops pending requests whose deadline is unreachable: even if
 // scheduled this slot on the latency-optimal station, D_j would exceed
-// D̂_j. Dropped requests stay rejected in the final result.
-func (e *Engine) expire(pending []int, t int) []int {
+// D̂_j. Dropped requests stay rejected in the final result and are
+// recorded in rep.Expired.
+func (e *Engine) expire(pending []int, t int, rep *SlotReport) []int {
 	keep := pending[:0]
 	for _, j := range pending {
 		r := e.reqs[j]
@@ -446,6 +437,8 @@ func (e *Engine) expire(pending []int, t int) []int {
 		}
 		if ok {
 			keep = append(keep, j)
+		} else {
+			rep.Expired = append(rep.Expired, j)
 		}
 	}
 	return keep
@@ -496,13 +489,19 @@ func (e *Engine) settle(res *core.Result, t int, admitted []int, aware bool) flo
 		}
 		batch = append(batch, member{req: j, shares: shares})
 	}
+	if len(batch) == 0 {
+		return 0
+	}
 
-	// Overload determination.
-	overloaded := make(map[int]bool)
-	for i := 0; i < e.net.NumStations(); i++ {
-		if e.used[i] > e.net.Capacity(i)+1e-6 {
-			overloaded[i] = true
-		}
+	// Overload determination (buffer reused across slots: settle runs on
+	// the hot per-slot path and must not allocate when nothing settles).
+	nS := e.net.NumStations()
+	if cap(e.overloaded) < nS {
+		e.overloaded = make([]bool, nS)
+	}
+	overloaded := e.overloaded[:nS]
+	for i := 0; i < nS; i++ {
+		overloaded[i] = e.used[i] > e.net.Capacity(i)+1e-6
 	}
 
 	slotReward := 0.0
