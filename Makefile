@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build test race oracle bench bench-check bench-smoke fuzz fmt vet clean
+.PHONY: verify build test race oracle bench bench-check bench-smoke load-smoke fuzz lint fmt vet clean
 
 ## verify: tier-1 gate — build everything, vet, gofmt check, full tests.
 verify: build vet fmt-check test
@@ -39,6 +39,7 @@ oracle:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkAppro|BenchmarkDynamicRRRun|BenchmarkLPColdVsWarm|BenchmarkLPPTSlot' -benchmem . | tee bench-raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkServeSlot' -benchtime 1000x -benchmem . | tee -a bench-raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkServeIngest' -benchtime 200x -benchmem . | tee -a bench-raw.txt
 	$(GO) run ./cmd/benchjson -in bench-raw.txt -out BENCH_PR5.json
 
 ## bench-check: re-run the gated serve-slot benchmarks at the baseline's
@@ -50,22 +51,49 @@ bench:
 bench-check:
 	$(GO) test -run '^$$' -bench 'BenchmarkServeSlot' -benchtime 1000x -benchmem . \
 		| $(GO) run ./cmd/benchjson -tee -out bench-new.json
+	$(GO) test -run '^$$' -bench 'BenchmarkServeIngest' -benchtime 200x -benchmem . \
+		| $(GO) run ./cmd/benchjson -tee -out bench-ingest.json
 	$(GO) run ./cmd/benchjson -compare -old BENCH_PR5.json -new bench-new.json -gate '^BenchmarkServeSlot'
+	$(GO) run ./cmd/benchjson -compare -old BENCH_PR5.json -new bench-ingest.json \
+		-gate '^BenchmarkServeIngest' -allocs-gate '^$$'
 
 ## bench-smoke: compile-and-run-once pass over the benchmark harness,
 ## mirroring the CI bench-smoke job. No regression gate here: at
 ## -benchtime 1x neither timings nor allocation counts are comparable
 ## to the amortized baseline (bench-check is the gate).
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkAppro|BenchmarkDynamicRRRun|BenchmarkLPColdVsWarm|BenchmarkServeSlot' -benchtime 1x -benchmem . \
+	$(GO) test -run '^$$' -bench 'BenchmarkAppro|BenchmarkDynamicRRRun|BenchmarkLPColdVsWarm|BenchmarkServeSlot|BenchmarkServeIngest' -benchtime 1x -benchmem . \
 		| $(GO) run ./cmd/benchjson -tee -out bench-smoke.json
+
+## load-smoke: build arserved and drive the batched intake at 100k req/s
+## offered for 2s on a tiny topology, failing on admit-rate collapse,
+## queue growth past the configured bounds, or a batch-submit p99 over
+## 50ms (the CI load-smoke job runs the same command with CI-safe
+## thresholds and archives load-smoke.json).
+load-smoke:
+	$(GO) build -o arserved-load ./cmd/arserved
+	./arserved-load -loadgen -stations 4 -offered 100000 -load-duration 2s \
+		-load-batch 500 -tick 50ms -max-pending 512 -stage 512 \
+		-load-out load-smoke.json -load-min-offered-frac 0.9 \
+		-load-max-p99-ms 50 -load-min-admitted 1000
 
 ## fuzz: seed-corpus regression then a short fuzzing budget.
 fuzz:
 	$(GO) test -run 'FuzzParse' ./internal/lp/
 	$(GO) test -run 'FuzzOracleLP' ./internal/oracle/
+	$(GO) test -run 'FuzzBatchDecode' ./internal/serve/
 	$(GO) test -fuzz 'FuzzParse' -fuzztime 30s ./internal/lp/
 	$(GO) test -fuzz 'FuzzOracleLP' -fuzztime 30s ./internal/oracle/
+	$(GO) test -fuzz 'FuzzBatchDecode' -fuzztime 30s ./internal/serve/
+
+## lint: staticcheck (correctness checks only, see staticcheck.conf) and
+## govulncheck, both at pinned versions via the module proxy — nothing is
+## added to go.mod. Needs network access; CI runs the same pins.
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.3
+lint:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
 fmt:
 	gofmt -w .
@@ -78,4 +106,5 @@ vet:
 	$(GO) vet ./...
 
 clean:
-	rm -f mecoffload.test bench-smoke.txt bench-smoke.json bench-new.json bench-raw.txt
+	rm -f mecoffload.test bench-smoke.txt bench-smoke.json bench-new.json \
+		bench-ingest.json bench-raw.txt arserved-load load-smoke.json

@@ -97,3 +97,59 @@ func benchServeSlot(b *testing.B, check sim.StepChecker) {
 		b.ReportMetric(float64(hits)/float64(total), "warm-hit-ratio")
 	}
 }
+
+// BenchmarkServeIngest measures the batched intake pipeline end to end:
+// each iteration submits one batch through SubmitBatch (pricing, ring
+// transit, registry fan-out), flushes it into the planner, and ticks —
+// the per-batch cost a bulk replay or the NDJSON endpoint pays. Gated
+// by the benchjson regression check alongside the slot benchmarks.
+func BenchmarkServeIngest(b *testing.B) {
+	net, err := mec.RandomNetwork(20, 3000, 3600, rand.New(rand.NewSource(17)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := serve.New(serve.Config{Net: net, Rng: rand.New(rand.NewSource(18))})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.Start()
+	defer func() { _ = eng.Stop() }()
+
+	const batch = 64
+	specs := make([]serve.RequestSpec, batch)
+	for i := range specs {
+		specs[i] = serve.RequestSpec{
+			AccessStation: i % 20,
+			DurationSlots: 4,
+			Outcomes: []serve.OutcomeSpec{
+				{RateMBs: 40, Prob: 1, Reward: float64(300 + (i*7)%400)},
+			},
+		}
+	}
+	// Warm the pipeline and the LP basis cache.
+	if _, err := eng.SubmitBatch(specs); err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Tick(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.SubmitBatch(specs); err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Tick(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(batch, "reqs/batch")
+}

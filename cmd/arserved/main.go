@@ -29,6 +29,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only behind -pprof-addr
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -68,6 +69,19 @@ func run(args []string, out io.Writer) error {
 		replayDump = fs.String("replay-dump", "", "replay: write per-slot admission decisions as JSON to this file")
 		workers    = fs.Int("workers", 1, "concurrent component solves per slot LP (dynamicrr only; decisions are identical for every value)")
 		pprofAddr  = fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
+
+		ringCap    = fs.Int("ring", 0, "batched-ingest ring capacity (0 = default 4096, rounded up to a power of two)")
+		stageCap   = fs.Int("stage", 0, "batched-ingest overflow-stage capacity before reward-aware shedding (0 = default 4096)")
+		maxPending = fs.Int("max-pending", 0, "pending requests before the loop stops draining the ingest ring (0 = default 16384)")
+
+		loadgen        = fs.Bool("loadgen", false, "drive the batched intake at a fixed offered load instead of serving HTTP")
+		offered        = fs.Int("offered", 100000, "loadgen: offered load in requests per second")
+		loadDuration   = fs.Duration("load-duration", 2*time.Second, "loadgen: generation window")
+		loadBatch      = fs.Int("load-batch", 256, "loadgen: requests per batch submit")
+		loadOut        = fs.String("load-out", "", "loadgen: write a benchjson-format summary to this file")
+		loadMaxP99     = fs.Float64("load-max-p99-ms", 0, "loadgen: fail when batch-submit p99 exceeds this many milliseconds (0 disables)")
+		loadMinOffered = fs.Float64("load-min-offered-frac", 0, "loadgen: fail when the achieved offered rate falls below this fraction of -offered (0 disables)")
+		loadMinAdmit   = fs.Uint64("load-min-admitted", 0, "loadgen: fail when fewer requests reached the planner (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -122,12 +136,36 @@ func run(args []string, out io.Writer) error {
 		Shards:          *shards,
 		CheckpointPath:  *ckptPath,
 		CheckpointEvery: *ckptEvery,
+		RingCapacity:    *ringCap,
+		StageCapacity:   *stageCap,
+		MaxPending:      *maxPending,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(out, format+"\n", a...)
 		},
 	}
 	if *trace {
 		cfg.TraceWriter = out
+	}
+
+	if *loadgen {
+		if *replay != "" {
+			return errors.New("-loadgen and -replay are mutually exclusive")
+		}
+		// The load generator runs against the real wall-clock engine: the
+		// internal ticker schedules slots while batches arrive, exactly
+		// the contention profile of the HTTP daemon.
+		cfg.TickInterval = *tick
+		eng, err := serve.New(cfg)
+		if err != nil {
+			return err
+		}
+		eng.Start()
+		defer func() { _ = eng.Stop() }()
+		return runLoadgen(eng, *offered, *loadDuration, *loadBatch, loadGates{
+			MaxP99MS:       *loadMaxP99,
+			MinOfferedFrac: *loadMinOffered,
+			MinAdmitted:    *loadMinAdmit,
+		}, *loadOut, out)
 	}
 
 	if *replay != "" {
@@ -156,7 +194,14 @@ func run(args []string, out io.Writer) error {
 		}
 		eng.Start()
 		defer func() { _ = eng.Stop() }()
-		if err := runReplay(eng, *replay, *slotMS, *replayRate, rnd.New(*seed, "replay"), out); err != nil {
+		if strings.HasSuffix(*replay, ".ndjson") {
+			// NDJSON traces replay through the batched intake: one
+			// request per line, blank lines marking slot boundaries —
+			// the same wire format as POST /v1/requests:batch.
+			if err := runReplayNDJSON(eng, *replay, out); err != nil {
+				return err
+			}
+		} else if err := runReplay(eng, *replay, *slotMS, *replayRate, rnd.New(*seed, "replay"), out); err != nil {
 			return err
 		}
 		if dump != nil {

@@ -48,20 +48,21 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	var (
-		inPath  = fs.String("in", "", "benchmark text to parse (default stdin)")
-		outPath = fs.String("out", "", "write the JSON summary to this file (default stdout)")
-		compare = fs.Bool("compare", false, "compare -old against -new instead of converting")
-		oldPath = fs.String("old", "", "compare: baseline JSON summary")
-		newPath = fs.String("new", "", "compare: candidate JSON summary")
-		gate    = fs.String("gate", "BenchmarkServeSlot$", "compare: regexp naming the gated benchmarks")
-		maxNs   = fs.Float64("max-ns-regress", 0.10, "compare: tolerated relative ns/op regression")
-		tee     = fs.Bool("tee", false, "convert: also copy the input text to stdout")
+		inPath     = fs.String("in", "", "benchmark text to parse (default stdin)")
+		outPath    = fs.String("out", "", "write the JSON summary to this file (default stdout)")
+		compare    = fs.Bool("compare", false, "compare -old against -new instead of converting")
+		oldPath    = fs.String("old", "", "compare: baseline JSON summary")
+		newPath    = fs.String("new", "", "compare: candidate JSON summary")
+		gate       = fs.String("gate", "BenchmarkServeSlot$", "compare: regexp naming the gated benchmarks")
+		maxNs      = fs.Float64("max-ns-regress", 0.10, "compare: tolerated relative ns/op regression")
+		allocsGate = fs.String("allocs-gate", "", "compare: regexp naming the benchmarks under the strict allocs/op gate (default: same as -gate); gated benchmarks outside it get the ns/op gate only")
+		tee        = fs.Bool("tee", false, "convert: also copy the input text to stdout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *compare {
-		return runCompare(*oldPath, *newPath, *gate, *maxNs, stdout)
+		return runCompare(*oldPath, *newPath, *gate, *allocsGate, *maxNs, stdout)
 	}
 
 	in := stdin
@@ -142,13 +143,24 @@ func Parse(r io.Reader, echo io.Writer) ([]Bench, error) {
 }
 
 // runCompare applies the regression gate and reports each gated pair.
-func runCompare(oldPath, newPath, gate string, maxNs float64, stdout io.Writer) error {
+// Benchmarks matching allocsGate (default: the gate itself) additionally
+// fail on any allocs/op growth; benchmarks whose allocation counts are
+// not deterministic (e.g. pipelines whose pools interact with GC timing)
+// can be excluded from that stricter rule while keeping the ns/op gate.
+func runCompare(oldPath, newPath, gate, allocsGate string, maxNs float64, stdout io.Writer) error {
 	if oldPath == "" || newPath == "" {
 		return fmt.Errorf("compare needs -old and -new")
 	}
 	re, err := regexp.Compile(gate)
 	if err != nil {
 		return fmt.Errorf("bad -gate: %w", err)
+	}
+	if allocsGate == "" {
+		allocsGate = gate
+	}
+	allocsRe, err := regexp.Compile(allocsGate)
+	if err != nil {
+		return fmt.Errorf("bad -allocs-gate: %w", err)
 	}
 	oldB, err := loadSummary(oldPath)
 	if err != nil {
@@ -178,7 +190,7 @@ func runCompare(oldPath, newPath, gate string, maxNs float64, stdout io.Writer) 
 		if nsDelta > maxNs {
 			failures = append(failures, fmt.Sprintf("%s: ns/op regressed %.1f%% (max %.1f%%)", name, 100*nsDelta, 100*maxNs))
 		}
-		if nb.AllocsOp > ob.AllocsOp {
+		if nb.AllocsOp > ob.AllocsOp && allocsRe.MatchString(name) {
 			failures = append(failures, fmt.Sprintf("%s: allocs/op grew %g -> %g", name, ob.AllocsOp, nb.AllocsOp))
 		}
 	}

@@ -136,3 +136,22 @@ func TestConvertFromFileAndTee(t *testing.T) {
 		t.Errorf("json output: %s", data)
 	}
 }
+
+func TestCompareAllocsGateExemption(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeSummary(t, dir, "old.json", sampleBench)
+	newText := strings.Replace(sampleBench, "12 allocs/op", "13 allocs/op", 1)
+	newP := writeSummary(t, dir, "new.json", newText)
+	// The benchmark stays ns/op-gated, but a narrower -allocs-gate that
+	// excludes it waives the strict allocation rule.
+	var buf bytes.Buffer
+	if err := run([]string{"-compare", "-old", oldP, "-new", newP,
+		"-allocs-gate", "^BenchmarkServeSlotSteady$"}, nil, &buf); err != nil {
+		t.Fatalf("compare failed despite allocs exemption: %v\n%s", err, buf.String())
+	}
+	// Same inputs with the default allocs gate still fail.
+	err := run([]string{"-compare", "-old", oldP, "-new", newP}, nil, &buf)
+	if err == nil || !strings.Contains(err.Error(), "allocs/op grew") {
+		t.Fatalf("err = %v, want allocs/op failure without exemption", err)
+	}
+}

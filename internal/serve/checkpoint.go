@@ -29,6 +29,12 @@ type Totals struct {
 	Departed  uint64  `json:"departed"`
 	Ticks     uint64  `json:"ticks"`
 	Reward    float64 `json:"reward"`
+	// Batched-ingest counters; absent (zero) in checkpoints written
+	// before the bulk intake path existed.
+	Batches   uint64 `json:"batches,omitempty"`
+	BatchReqs uint64 `json:"batchRequests,omitempty"`
+	Shed      uint64 `json:"shed,omitempty"`
+	Saturated uint64 `json:"saturated,omitempty"`
 }
 
 // CheckpointRequest is one live (pending or in-service) request.

@@ -17,6 +17,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mecoffload/internal/bandit"
@@ -104,6 +105,22 @@ type Config struct {
 	// MaxRecordsPerShard bounds the status registry (default 65536
 	// records per shard; oldest terminal records evict first).
 	MaxRecordsPerShard int
+	// RingCapacity bounds the batched-ingest SPSC ring between the
+	// intake pump and the engine loop (default 4096, rounded up to a
+	// power of two).
+	RingCapacity int
+	// StageCapacity bounds the pump's reward-sorted overflow stage;
+	// once the ring and the stage are both full, the lowest
+	// expected-reward request sheds (default 4096).
+	StageCapacity int
+	// MaxPending bounds the loop's pending queue: the loop stops
+	// draining the ring once this many requests await scheduling, which
+	// is the backpressure signal that engages the shedding stage
+	// (default 16384). Single-POST intake is not subject to it.
+	MaxPending int
+	// BatchQueue bounds the pump's inbox in batches; a full inbox fails
+	// SubmitBatch with ErrSaturated (default 8).
+	BatchQueue int
 	// StepChecker, when set, is installed on the planner and runs the
 	// oracle's invariant checks after every slot; a violation surfaces as
 	// a slot error (the slot's requests stay pending and SlotErrors
@@ -141,12 +158,27 @@ type Engine struct {
 	shardStop  sync.Once
 	shardsDone chan struct{}
 
+	// Batched ingest path (see ingest.go). nextExt is atomic because
+	// both the loop (single-POST intake) and the pump (batch intake)
+	// allocate external ids from it.
+	ring        *ingestRing
+	batchC      chan batchMsg
+	ringC       chan struct{} // pump -> loop: ring became non-empty
+	spaceC      chan struct{} // loop -> pump: ring space freed
+	pumpDone    chan struct{}
+	nextExt     atomic.Uint64
+	stagedDepth atomic.Int64
+
+	// Pump-owned state.
+	stage   stageBuffer
+	pumpSeq uint64
+	shedBuf []ingestEntry // per-batch shed victims, reused across batches
+
 	// Loop-owned state.
 	planner *sim.Engine
 	res     *core.Result
 	pending []int
 	slot    int
-	nextExt uint64
 	live    map[int]*liveEntry // internal id -> live request
 	settled int                // decided requests still occupying planner slices
 	drain   bool
@@ -170,6 +202,7 @@ const (
 	ctlCheckpoint
 	ctlDrain
 	ctlStop
+	ctlFlushRing
 )
 
 type controlMsg struct {
@@ -207,6 +240,18 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.MaxRecordsPerShard <= 0 {
 		cfg.MaxRecordsPerShard = 65536
 	}
+	if cfg.RingCapacity <= 0 {
+		cfg.RingCapacity = 4096
+	}
+	if cfg.StageCapacity <= 0 {
+		cfg.StageCapacity = 4096
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 16384
+	}
+	if cfg.BatchQueue <= 0 {
+		cfg.BatchQueue = 8
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -221,6 +266,11 @@ func New(cfg Config) (*Engine, error) {
 		control:    make(chan controlMsg),
 		loopDone:   make(chan struct{}),
 		shardsDone: make(chan struct{}),
+		ring:       newIngestRing(cfg.RingCapacity),
+		batchC:     make(chan batchMsg, cfg.BatchQueue),
+		ringC:      make(chan struct{}, 1),
+		spaceC:     make(chan struct{}, 1),
+		pumpDone:   make(chan struct{}),
 		live:       map[int]*liveEntry{},
 	}
 
@@ -326,7 +376,7 @@ func (e *Engine) install(ck *Checkpoint) error {
 		return err
 	}
 	e.slot = ck.Slot
-	e.nextExt = ck.NextExternalID
+	e.nextExt.Store(ck.NextExternalID)
 	e.live = map[int]*liveEntry{}
 	e.metrics.restoreTotals(ck.Totals)
 	e.metrics.CurrentSlot.Store(int64(ck.Slot))
@@ -379,6 +429,13 @@ func (e *Engine) install(ck *Checkpoint) error {
 // buildRequest materializes a spec into a planner request, applying the
 // paper-default pipeline, deadline, hold, and demand distribution.
 func (e *Engine) buildRequest(id, arrival int, spec RequestSpec) (*mec.Request, error) {
+	return e.buildRequestRng(e.cfg.Rng, id, arrival, spec)
+}
+
+// buildRequestRng is buildRequest with an explicit randomness source for
+// the default-outcome unit-reward draw, so ValidateSpec can check a spec
+// without consuming the engine's stream.
+func (e *Engine) buildRequestRng(rng *rand.Rand, id, arrival int, spec RequestSpec) (*mec.Request, error) {
 	if spec.AccessStation < 0 || spec.AccessStation >= e.cfg.Net.NumStations() {
 		return nil, fmt.Errorf("%w: access station %d out of [0, %d)", ErrBadSpec, spec.AccessStation, e.cfg.Net.NumStations())
 	}
@@ -411,7 +468,7 @@ func (e *Engine) buildRequest(id, arrival int, spec RequestSpec) (*mec.Request, 
 	}
 	outcomes := spec.Outcomes
 	if len(outcomes) == 0 {
-		outcomes = e.defaultOutcomes()
+		outcomes = defaultOutcomes(rng)
 	}
 	distOutcomes := make([]dist.Outcome, 0, len(outcomes))
 	for _, o := range outcomes {
@@ -439,10 +496,10 @@ func (e *Engine) buildRequest(id, arrival int, spec RequestSpec) (*mec.Request, 
 // defaultOutcomes draws the paper-default five-point demand distribution:
 // rates evenly spaced over [30, 50] MB/s, uniform probabilities, and a
 // unit reward uniform in [12, 15] dollars per MB/s.
-func (e *Engine) defaultOutcomes() []OutcomeSpec {
+func defaultOutcomes(rng *rand.Rand) []OutcomeSpec {
 	const support = workload.DefaultRateSupport
 	unit := workload.DefaultMinUnitReward +
-		e.cfg.Rng.Float64()*(workload.DefaultMaxUnitReward-workload.DefaultMinUnitReward)
+		rng.Float64()*(workload.DefaultMaxUnitReward-workload.DefaultMinUnitReward)
 	out := make([]OutcomeSpec, support)
 	for i := 0; i < support; i++ {
 		rate := workload.DefaultMinRate +
@@ -452,11 +509,13 @@ func (e *Engine) defaultOutcomes() []OutcomeSpec {
 	return out
 }
 
-// Start launches the shard goroutines and the engine loop.
+// Start launches the shard goroutines, the intake pump, and the engine
+// loop.
 func (e *Engine) Start() {
 	for _, s := range e.shards {
 		go s.run()
 	}
+	go e.pump()
 	go e.loop()
 }
 
@@ -673,6 +732,8 @@ func (e *Engine) loop() {
 		select {
 		case msg := <-e.intake:
 			msg.reply <- e.handleIntake(msg.spec)
+		case <-e.ringC:
+			e.drainRing(false)
 		case <-tickC:
 			e.runSlot()
 			if e.drainComplete() {
@@ -688,6 +749,9 @@ func (e *Engine) loop() {
 				}
 			case ctlCheckpoint:
 				msg.reply <- e.checkpoint()
+			case ctlFlushRing:
+				e.drainRing(true)
+				msg.reply <- nil
 			case ctlDrain:
 				e.drain = true
 				e.metrics.drainFlag.Store(true)
@@ -735,8 +799,7 @@ func (e *Engine) handleIntake(spec RequestSpec) intakeReply {
 		e.metrics.Rejected.Inc()
 		return intakeReply{err: err}
 	}
-	ext := e.nextExt
-	e.nextExt++
+	ext := e.nextExt.Add(1) - 1
 	e.res.Decisions = append(e.res.Decisions, core.Decision{RequestID: internal, Station: -1})
 	e.pending = append(e.pending, internal)
 	e.live[internal] = &liveEntry{ext: ext, spec: spec, arrival: e.slot, running: false}
@@ -755,6 +818,10 @@ func (e *Engine) shardEvent(ev requestEvent) {
 
 // runSlot executes one scheduling slot end to end (loop goroutine only).
 func (e *Engine) runSlot() {
+	// Pull whatever the batch path delivered before this slot, up to the
+	// pending bound, so a batch submitted before the tick schedules in
+	// this slot exactly like single-POST arrivals would.
+	e.drainRing(false)
 	t := e.slot
 	depth := len(e.pending)
 	start := time.Now()
@@ -899,7 +966,7 @@ func (e *Engine) snapshotState() (*Checkpoint, error) {
 	ck := &Checkpoint{
 		Version:        checkpointVersion,
 		Slot:           e.slot,
-		NextExternalID: e.nextExt,
+		NextExternalID: e.nextExt.Load(),
 		Scheduler:      e.cfg.SchedulerName,
 		Totals:         e.metrics.totals(),
 	}

@@ -145,7 +145,7 @@ func TestWarmStartHitRate(t *testing.T) {
 		t.Fatalf("warm-start hits = 0 after second tick (misses = %d)", misses)
 	}
 	var buf bytes.Buffer
-	if err := e.Metrics().WriteProm(&buf, hits, misses, e.Gauges()); err != nil {
+	if err := e.Metrics().WriteProm(&buf, hits, misses, e.StagedDepth(), e.Gauges()); err != nil {
 		t.Fatal(err)
 	}
 	body := buf.String()

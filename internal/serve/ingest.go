@@ -1,0 +1,346 @@
+package serve
+
+// The intake pump: the single producer of the SPSC ingest ring. HTTP
+// batch handlers (and the bulk replay/load generators) hand decoded
+// spec batches to SubmitBatch, which enqueues them on a small bounded
+// channel; the pump goroutine prices each request, assigns its external
+// id, publishes its registry record, and pushes it through the
+// stage/ring pair toward the engine loop. The overload policy is a
+// strict chain of bounded queues:
+//
+//	pending (MaxPending, loop)  <- ring (RingCapacity, SPSC)
+//	  <- stage (StageCapacity, reward-sorted, sheds lowest E[reward])
+//	    <- batch channel (BatchQueue)  <- 503 + Retry-After
+//
+// Below saturation nothing ever sits in the stage, so batched intake
+// appends in exact submission order — decision-for-decision identical
+// to the single-POST path (the oracle differential enforces this).
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"mecoffload/internal/core"
+	"mecoffload/internal/workload"
+)
+
+// ErrSaturated reports that the ingest path cannot accept the batch
+// right now; HTTP maps it to 503 with a jittered Retry-After.
+var ErrSaturated = errors.New("serve: ingest saturated, retry later")
+
+// defaultSpecPrice is the expected reward of a default-spec request:
+// the paper-default rate support's mean rate at the midpoint unit
+// reward. Kept deterministic so pricing never consumes engine
+// randomness.
+const defaultSpecPrice = (workload.DefaultMinRate + workload.DefaultMaxRate) / 2 *
+	(workload.DefaultMinUnitReward + workload.DefaultMaxUnitReward) / 2
+
+// BatchResult summarizes one SubmitBatch call.
+type BatchResult struct {
+	// IDs are the external ids assigned to the batch's specs, in
+	// submission order. An id is durable for status lookups even if its
+	// request is later shed.
+	IDs []uint64
+	// Shed is the number of requests (from this batch or earlier ones)
+	// shed by the reward-aware policy while this batch was ingested.
+	Shed int
+}
+
+type batchMsg struct {
+	specs   []RequestSpec
+	barrier bool
+	reply   chan batchReply
+}
+
+type batchReply struct {
+	ids  []uint64
+	shed int
+}
+
+// SubmitBatch queues a pre-validated batch of specs for ingest. It
+// fails fast with ErrSaturated when the pump's inbox is full (the
+// overload backstop behind the shedding stage), and with ErrDraining /
+// ErrStopped like Submit. Specs should have passed ValidateSpec; a spec
+// the loop still rejects is counted and recorded as shed.
+func (e *Engine) SubmitBatch(specs []RequestSpec) (BatchResult, error) {
+	if len(specs) == 0 {
+		return BatchResult{}, nil
+	}
+	if e.Draining() {
+		if !e.Alive() {
+			return BatchResult{}, ErrStopped
+		}
+		return BatchResult{}, ErrDraining
+	}
+	msg := batchMsg{specs: specs, reply: batchReplyChan()}
+	select {
+	case e.batchC <- msg:
+	default:
+		e.metrics.Saturated.Inc()
+		return BatchResult{}, ErrSaturated
+	}
+	select {
+	case rep := <-msg.reply:
+		putBatchReplyChan(msg.reply)
+		e.metrics.Batches.Inc()
+		e.metrics.BatchRequests.Add(uint64(len(specs)))
+		return BatchResult{IDs: rep.ids, Shed: rep.shed}, nil
+	case <-e.loopDone:
+		return BatchResult{}, ErrStopped
+	}
+}
+
+// Flush blocks until every batch accepted so far has been appended to
+// the planner: the pump's inbox is empty, the stage has drained, and
+// the loop has consumed the ring (ignoring the MaxPending backpressure
+// bound, which exists for wall-clock overload, not for replay
+// harnesses). Replay and the oracle differential call it before
+// ticking, so a slot schedules exactly the requests submitted before
+// it.
+func (e *Engine) Flush() error {
+	for i := 0; ; i++ {
+		if err := e.pumpBarrier(); err != nil {
+			return err
+		}
+		if err := e.controlCall(ctlFlushRing); err != nil {
+			return err
+		}
+		if e.ring.Len() == 0 && e.stagedDepth.Load() == 0 {
+			return nil
+		}
+		if i > 1<<20 {
+			return errors.New("serve: flush did not converge")
+		}
+	}
+}
+
+// pumpBarrier round-trips the pump goroutine, guaranteeing every batch
+// enqueued before the call has been processed.
+func (e *Engine) pumpBarrier() error {
+	msg := batchMsg{barrier: true, reply: batchReplyChan()}
+	select {
+	case e.batchC <- msg:
+	case <-e.loopDone:
+		return ErrStopped
+	}
+	select {
+	case <-msg.reply:
+		putBatchReplyChan(msg.reply)
+		return nil
+	case <-e.loopDone:
+		return ErrStopped
+	}
+}
+
+// Reply channels for batch calls are pooled like the intake/control
+// ones; a channel abandoned on loop exit is dropped for the GC.
+var batchReplyPool = sync.Pool{New: func() any { return make(chan batchReply, 1) }}
+
+func batchReplyChan() chan batchReply     { return batchReplyPool.Get().(chan batchReply) }
+func putBatchReplyChan(c chan batchReply) { batchReplyPool.Put(c) }
+
+// pump is the intake pump goroutine: the single producer of the ingest
+// ring. It exits when the engine loop does.
+func (e *Engine) pump() {
+	defer close(e.pumpDone)
+	for {
+		select {
+		case msg := <-e.batchC:
+			if msg.barrier {
+				msg.reply <- batchReply{}
+				continue
+			}
+			msg.reply <- e.pumpBatch(msg.specs)
+		case <-e.spaceC:
+			// The loop freed ring space: move staged work in, most
+			// valuable first.
+			e.pumpDrainStage()
+		case <-e.loopDone:
+			return
+		}
+	}
+}
+
+// pumpBatch prices, registers, and enqueues one batch (pump goroutine
+// only).
+func (e *Engine) pumpBatch(specs []RequestSpec) batchReply {
+	now := time.Now().UnixNano()
+	slot := int(e.metrics.CurrentSlot.Load())
+	ids := make([]uint64, len(specs))
+	perShard := make([][]requestEvent, len(e.shards))
+	for i := range specs {
+		ext := e.nextExt.Add(1) - 1
+		ids[i] = ext
+		s := int(ext) % len(e.shards)
+		perShard[s] = append(perShard[s], requestEvent{id: ext, kind: evSubmitted, slot: slot})
+	}
+	// Register the whole batch first — one registry message per shard,
+	// not per request — so a shed (or a loop-side decision) during the
+	// push phase always finds its record already pending.
+	for s, evs := range perShard {
+		if len(evs) > 0 {
+			e.shardSend(e.shards[s], slotMsg{events: evs})
+		}
+	}
+	e.shedBuf = e.shedBuf[:0]
+	for i, spec := range specs {
+		e.pumpPush(ingestEntry{
+			spec:    spec,
+			ext:     ids[i],
+			price:   specPrice(spec),
+			seq:     e.pumpSeq,
+			enqNano: now,
+		})
+		e.pumpSeq++
+	}
+	// Sheds publish like submissions: grouped into one registry message
+	// per shard per batch, not one per victim.
+	if n := len(e.shedBuf); n > 0 {
+		e.metrics.Shed.Add(uint64(n))
+		shedShard := make([][]requestEvent, len(e.shards))
+		for _, victim := range e.shedBuf {
+			s := int(victim.ext) % len(e.shards)
+			shedShard[s] = append(shedShard[s], requestEvent{id: victim.ext, kind: evShed, slot: slot})
+		}
+		for s, evs := range shedShard {
+			if len(evs) > 0 {
+				e.shardSend(e.shards[s], slotMsg{events: evs})
+			}
+		}
+	}
+	return batchReply{ids: ids, shed: len(e.shedBuf)}
+}
+
+// pumpPush routes one entry through the stage/ring pair and applies the
+// shedding policy, appending victims to e.shedBuf (pump goroutine
+// only).
+func (e *Engine) pumpPush(ent ingestEntry) {
+	if e.stage.len() >= e.cfg.StageCapacity {
+		e.pumpDrainStage()
+		// Saturated fast path: an arrival at or below the stage's floor
+		// price would be the next shed victim anyway (price ties break
+		// newest-first, and this entry is the newest), so shed it O(1)
+		// instead of churning the sorted stage with an insert + evict.
+		if e.stage.len() >= e.cfg.StageCapacity && ent.price <= e.stage.entries[0].price {
+			e.shedBuf = append(e.shedBuf, ent)
+			return
+		}
+	}
+	e.stage.insert(ent)
+	e.pumpDrainStage()
+	for e.stage.len() > e.cfg.StageCapacity {
+		e.shedBuf = append(e.shedBuf, e.stage.popLowest())
+	}
+	e.stagedDepth.Store(int64(e.stage.len()))
+}
+
+// pumpDrainStage moves staged entries into the ring, most valuable
+// first, and wakes the loop when it delivered anything.
+func (e *Engine) pumpDrainStage() {
+	pushed := 0
+	for e.stage.len() > 0 {
+		if !e.ring.TryPush(e.stage.entries[len(e.stage.entries)-1]) {
+			break
+		}
+		e.stage.popHighest()
+		pushed++
+	}
+	if pushed > 0 {
+		e.stagedDepth.Store(int64(e.stage.len()))
+		e.metrics.IntakeDepth.Store(int64(e.ring.Len()))
+		select {
+		case e.ringC <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// shardSend publishes to a shard without deadlocking against shutdown:
+// once the shards have stopped the message is dropped (the registry is
+// gone anyway).
+func (e *Engine) shardSend(sh *shard, m slotMsg) {
+	select {
+	case sh.cmds <- m:
+	case <-e.shardsDone:
+	}
+}
+
+// drainRing consumes ring entries into the planner (loop goroutine
+// only). Unless forced, it respects the MaxPending bound — the
+// backpressure signal that lets the ring fill, the stage engage, and
+// the shedding policy take over when the scheduler cannot keep up.
+func (e *Engine) drainRing(force bool) {
+	consumed := 0
+	for force || len(e.pending) < e.cfg.MaxPending {
+		ent, ok := e.ring.TryPop()
+		if !ok {
+			break
+		}
+		consumed++
+		e.ingestOne(ent)
+	}
+	if consumed > 0 {
+		e.metrics.IntakeDepth.Store(int64(e.ring.Len()))
+		e.metrics.PendingDepth.Store(int64(len(e.pending)))
+		select {
+		case e.spaceC <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// ingestOne appends one batch-path request to the planner (loop
+// goroutine only). Its registry record already exists (the pump
+// published evSubmitted); failures surface as shed records so the id
+// stays resolvable.
+func (e *Engine) ingestOne(ent ingestEntry) {
+	reject := func() {
+		e.metrics.Rejected.Inc()
+		e.shardEvent(requestEvent{id: ent.ext, kind: evShed, slot: e.slot})
+	}
+	if e.drain {
+		reject()
+		return
+	}
+	internal := len(e.planner.Requests())
+	r, err := e.buildRequest(internal, e.slot, ent.spec)
+	if err != nil {
+		reject()
+		return
+	}
+	if err := e.planner.Append(r); err != nil {
+		reject()
+		return
+	}
+	e.res.Decisions = append(e.res.Decisions, core.Decision{RequestID: internal, Station: -1})
+	e.pending = append(e.pending, internal)
+	e.live[internal] = &liveEntry{ext: ent.ext, spec: ent.spec, arrival: e.slot}
+	e.metrics.Submitted.Inc()
+	e.metrics.IntakeLatency.Observe(float64(time.Now().UnixNano()-ent.enqNano) / 1e6)
+}
+
+// StagedDepth returns the pump's overflow-stage depth (gauge-grade;
+// exact only from the pump goroutine).
+func (e *Engine) StagedDepth() int64 { return e.stagedDepth.Load() }
+
+// RingDepth returns the ingest ring's current depth (gauge-grade).
+func (e *Engine) RingDepth() int { return e.ring.Len() }
+
+// RingCap returns the ingest ring's capacity (RingCapacity rounded up
+// to a power of two).
+func (e *Engine) RingCap() int { return e.ring.Cap() }
+
+// StageCap returns the configured overflow-stage capacity.
+func (e *Engine) StageCap() int { return e.cfg.StageCapacity }
+
+// ValidateSpec checks a spec exactly as intake would, without admitting
+// it (and without consuming engine randomness — the default-outcome
+// unit-reward draw uses a throwaway source). Batch handlers validate
+// lines up front so per-line errors surface in the HTTP response
+// rather than as asynchronous sheds. Safe for concurrent use.
+func (e *Engine) ValidateSpec(spec RequestSpec) error {
+	_, err := e.buildRequestRng(rand.New(rand.NewSource(0)), 0, 0, spec)
+	return err
+}

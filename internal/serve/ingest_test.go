@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// pricedSpec builds a spec whose expected reward is exactly price.
+func pricedSpec(station int, price float64) RequestSpec {
+	return RequestSpec{
+		AccessStation: station,
+		DurationSlots: 3,
+		Outcomes:      []OutcomeSpec{{Prob: 1, RateMBs: 40, Reward: price}},
+	}
+}
+
+// TestSubmitBatchLifecycle drives a batch through intake, flush, and a
+// few slots, and checks the ids stay resolvable end to end.
+func TestSubmitBatchLifecycle(t *testing.T) {
+	e := testEngine(t, Config{})
+	specs := make([]RequestSpec, 6)
+	for i := range specs {
+		specs[i] = pricedSpec(i%e.cfg.Net.NumStations(), float64(100+i))
+	}
+	res, err := e.SubmitBatch(specs)
+	if err != nil {
+		t.Fatalf("SubmitBatch: %v", err)
+	}
+	if len(res.IDs) != 6 || res.Shed != 0 {
+		t.Fatalf("batch result = %+v, want 6 ids and no shed", res)
+	}
+	for i := 1; i < len(res.IDs); i++ {
+		if res.IDs[i] != res.IDs[i-1]+1 {
+			t.Fatalf("ids not contiguous in submission order: %v", res.IDs)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if got := e.metrics.Submitted.Load(); got != 6 {
+		t.Fatalf("submitted = %d, want 6", got)
+	}
+	if e.RingDepth() != 0 || e.StagedDepth() != 0 {
+		t.Fatalf("post-flush depths ring=%d staged=%d, want 0/0", e.RingDepth(), e.StagedDepth())
+	}
+	for _, id := range res.IDs {
+		rec, ok, err := e.Status(id)
+		if err != nil || !ok {
+			t.Fatalf("status %d: ok=%v err=%v", id, ok, err)
+		}
+		if rec.State != StatePending {
+			t.Fatalf("request %d state %q after flush, want pending", id, rec.State)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := e.Tick(); err != nil {
+			t.Fatalf("tick %d: %v", i, err)
+		}
+	}
+	served := 0
+	for _, id := range res.IDs {
+		rec, ok, _ := e.Status(id)
+		if ok && rec.State != StatePending {
+			served++
+		}
+	}
+	if served == 0 {
+		t.Fatal("no batch request progressed past pending after 5 slots")
+	}
+	if got := e.metrics.Batches.Load(); got != 1 {
+		t.Fatalf("batches counter = %d, want 1", got)
+	}
+	if got := e.metrics.BatchRequests.Load(); got != 6 {
+		t.Fatalf("batch requests counter = %d, want 6", got)
+	}
+}
+
+// TestSubmitBatchShedsLowestReward is the overload-policy test worked
+// out entry by entry: ring capacity 4, stage capacity 4, and a loop that
+// will not drain (MaxPending already exceeded by two single-POST
+// requests). A batch of ten requests priced 1..10 must keep prices 1-4
+// in the ring (FIFO, admitted first), stage 7-10, and shed exactly the
+// two cheapest staged requests, 5 and 6.
+func TestSubmitBatchShedsLowestReward(t *testing.T) {
+	e := testEngine(t, Config{
+		RingCapacity:  4,
+		StageCapacity: 4,
+		MaxPending:    1,
+	})
+	// Two single-POST requests exceed MaxPending so drainRing backs off.
+	pre := submitN(t, e, 2)
+	specs := make([]RequestSpec, 10)
+	for i := range specs {
+		specs[i] = pricedSpec(0, float64(i+1))
+	}
+	res, err := e.SubmitBatch(specs)
+	if err != nil {
+		t.Fatalf("SubmitBatch: %v", err)
+	}
+	if res.Shed != 2 {
+		t.Fatalf("shed = %d, want 2 (prices 5 and 6)", res.Shed)
+	}
+	shed := map[uint64]bool{res.IDs[4]: true, res.IDs[5]: true}
+	for i, id := range res.IDs {
+		rec, ok, err := e.Status(id)
+		if err != nil || !ok {
+			t.Fatalf("status %d: ok=%v err=%v", id, ok, err)
+		}
+		want := StatePending
+		if shed[id] {
+			want = StateShed
+		}
+		if rec.State != want {
+			t.Fatalf("price %d (id %d) state %q, want %q", i+1, id, rec.State, want)
+		}
+	}
+	if got := e.metrics.Shed.Load(); got != 2 {
+		t.Fatalf("shed counter = %d, want 2", got)
+	}
+	// Flush force-drains ring and stage; the 8 survivors plus the two
+	// single-POST requests are all admitted.
+	if err := e.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if got := e.metrics.Submitted.Load(); got != 10 {
+		t.Fatalf("submitted = %d, want 10 (2 singles + 8 surviving batch)", got)
+	}
+	for _, id := range pre {
+		rec, ok, _ := e.Status(id)
+		if !ok || rec.State != StatePending {
+			t.Fatalf("single-POST request %d disturbed by batch path: %+v", id, rec)
+		}
+	}
+}
+
+// TestSubmitBatchEdgeCases covers the empty batch and the
+// draining/stopped refusals.
+func TestSubmitBatchEdgeCases(t *testing.T) {
+	e := testEngine(t, Config{})
+	res, err := e.SubmitBatch(nil)
+	if err != nil || len(res.IDs) != 0 || res.Shed != 0 {
+		t.Fatalf("empty batch = (%+v, %v), want zero result", res, err)
+	}
+	// A pending request keeps a draining manual-tick loop alive (an empty
+	// drained engine exits immediately, which is the ErrStopped case).
+	submitN(t, e, 1)
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.SubmitBatch([]RequestSpec{{}}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("draining SubmitBatch err = %v, want ErrDraining", err)
+	}
+	if err := e.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.SubmitBatch([]RequestSpec{{}}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("stopped SubmitBatch err = %v, want ErrStopped", err)
+	}
+	// The pump goroutine must exit with the loop.
+	select {
+	case <-e.pumpDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pump goroutine did not exit on engine stop")
+	}
+}
+
+// TestValidateSpecDeterminism: validation must not consume engine
+// randomness, so interleaving validations cannot change admission
+// decisions.
+func TestValidateSpec(t *testing.T) {
+	e := testEngine(t, Config{})
+	if err := e.ValidateSpec(RequestSpec{}); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+	bad := RequestSpec{Outcomes: []OutcomeSpec{{Prob: -1, RateMBs: 40, Reward: 1}}}
+	if err := e.ValidateSpec(bad); err == nil {
+		t.Fatal("negative-probability spec validated")
+	}
+}

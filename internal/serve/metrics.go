@@ -14,6 +14,12 @@ import (
 // range finely and the overload range coarsely.
 var slotDurationBucketsMS = []float64{0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 1000}
 
+// intakeLatencyBucketsMS resolve the batched-ingest handoff (pump
+// enqueue to planner append). A healthy handoff completes well inside a
+// tick; the coarse tail captures overload, where entries wait in the
+// ring behind the MaxPending backpressure bound.
+var intakeLatencyBucketsMS = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 500}
+
 // counter is a monotonically increasing uint64 safe for concurrent use.
 type counter struct{ v atomic.Uint64 }
 
@@ -77,11 +83,21 @@ type Metrics struct {
 	Reward       floatCounter
 	SlotDuration *histogram
 
+	// Batched ingest path.
+	Batches       counter    // SubmitBatch calls accepted by the pump
+	BatchRequests counter    // requests carried by those batches
+	Shed          counter    // requests dropped by reward-aware shedding
+	Saturated     counter    // batches refused with ErrSaturated (503)
+	IntakeLatency *histogram // pump enqueue -> planner append, ms
+
 	// Gauges, written by the engine loop each tick.
 	PendingDepth  atomic.Int64
 	ActiveStreams atomic.Int64
 	LastTickNano  atomic.Int64
 	CurrentSlot   atomic.Int64
+	// IntakeDepth is the ingest ring's depth; the staged-entry gauge
+	// lives on the engine (stagedDepth) because the pump owns it.
+	IntakeDepth atomic.Int64
 
 	drainFlag atomic.Bool
 }
@@ -99,6 +115,10 @@ func (m *Metrics) totals() Totals {
 		Departed:  m.Departed.Load(),
 		Ticks:     m.Ticks.Load(),
 		Reward:    m.Reward.Load(),
+		Batches:   m.Batches.Load(),
+		BatchReqs: m.BatchRequests.Load(),
+		Shed:      m.Shed.Load(),
+		Saturated: m.Saturated.Load(),
 	}
 }
 
@@ -114,11 +134,18 @@ func (m *Metrics) restoreTotals(t Totals) {
 	m.Departed.v.Store(t.Departed)
 	m.Ticks.v.Store(t.Ticks)
 	m.Reward.bits.Store(math.Float64bits(t.Reward))
+	m.Batches.v.Store(t.Batches)
+	m.BatchRequests.v.Store(t.BatchReqs)
+	m.Shed.v.Store(t.Shed)
+	m.Saturated.v.Store(t.Saturated)
 }
 
 // NewMetrics builds an empty metric set.
 func NewMetrics() *Metrics {
-	return &Metrics{SlotDuration: newHistogram(slotDurationBucketsMS)}
+	return &Metrics{
+		SlotDuration:  newHistogram(slotDurationBucketsMS),
+		IntakeLatency: newHistogram(intakeLatencyBucketsMS),
+	}
 }
 
 // StationGauge is one station's exposed capacity state, assembled from
@@ -131,8 +158,9 @@ type StationGauge struct {
 
 // WriteProm renders the metric set in Prometheus text exposition format
 // (version 0.0.4). warmHits/warmMisses come from the scheduler's LP
-// warm-start cache; stations come from the shards.
-func (m *Metrics) WriteProm(w io.Writer, warmHits, warmMisses uint64, stations []StationGauge) error {
+// warm-start cache; staged is the pump's overflow-stage depth; stations
+// come from the shards.
+func (m *Metrics) WriteProm(w io.Writer, warmHits, warmMisses uint64, staged int64, stations []StationGauge) error {
 	var err error
 	p := func(format string, args ...any) {
 		if err == nil {
@@ -149,6 +177,7 @@ func (m *Metrics) WriteProm(w io.Writer, warmHits, warmMisses uint64, stations [
 	p("arserved_requests_total{result=\"evicted\"} %d\n", m.Evicted.Load())
 	p("arserved_requests_total{result=\"expired\"} %d\n", m.Expired.Load())
 	p("arserved_requests_total{result=\"departed\"} %d\n", m.Departed.Load())
+	p("arserved_requests_total{result=\"shed\"} %d\n", m.Shed.Load())
 
 	p("# HELP arserved_reward_dollars_total Realized reward credited across all slots.\n")
 	p("# TYPE arserved_reward_dollars_total counter\n")
@@ -169,6 +198,31 @@ func (m *Metrics) WriteProm(w io.Writer, warmHits, warmMisses uint64, stations [
 	p("# HELP arserved_pending_requests Requests waiting in the admission queue.\n")
 	p("# TYPE arserved_pending_requests gauge\n")
 	p("arserved_pending_requests %d\n", m.PendingDepth.Load())
+
+	p("# HELP arserved_batches_total Bulk intake batches accepted.\n")
+	p("# TYPE arserved_batches_total counter\n")
+	p("arserved_batches_total %d\n", m.Batches.Load())
+	p("# HELP arserved_batch_requests_total Requests carried by accepted bulk batches.\n")
+	p("# TYPE arserved_batch_requests_total counter\n")
+	p("arserved_batch_requests_total %d\n", m.BatchRequests.Load())
+	p("# HELP arserved_saturated_total Bulk batches refused because the ingest path was saturated.\n")
+	p("# TYPE arserved_saturated_total counter\n")
+	p("arserved_saturated_total %d\n", m.Saturated.Load())
+	p("# HELP arserved_intake_ring_depth Entries waiting in the ingest ring.\n")
+	p("# TYPE arserved_intake_ring_depth gauge\n")
+	p("arserved_intake_ring_depth %d\n", m.IntakeDepth.Load())
+	p("# HELP arserved_intake_staged_depth Entries waiting in the reward-sorted overflow stage.\n")
+	p("# TYPE arserved_intake_staged_depth gauge\n")
+	p("arserved_intake_staged_depth %d\n", staged)
+
+	p("# HELP arserved_intake_latency_ms Batched-ingest handoff latency (pump enqueue to planner append).\n")
+	p("# TYPE arserved_intake_latency_ms histogram\n")
+	for i, b := range m.IntakeLatency.bounds {
+		p("arserved_intake_latency_ms_bucket{le=\"%g\"} %d\n", b, m.IntakeLatency.counts[i].Load())
+	}
+	p("arserved_intake_latency_ms_bucket{le=\"+Inf\"} %d\n", m.IntakeLatency.total.Load())
+	p("arserved_intake_latency_ms_sum %g\n", m.IntakeLatency.sum.Load())
+	p("arserved_intake_latency_ms_count %d\n", m.IntakeLatency.total.Load())
 
 	p("# HELP arserved_active_streams Streams currently occupying service instances.\n")
 	p("# TYPE arserved_active_streams gauge\n")

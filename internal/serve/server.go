@@ -3,8 +3,11 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"math/rand"
 	"net/http"
 	"strconv"
+	"sync"
+	"time"
 )
 
 // submitResponse is the body of a successful POST /v1/requests.
@@ -14,17 +17,72 @@ type submitResponse struct {
 	State string `json:"state"`
 }
 
+// errorResponse is the structured error body of every non-2xx response.
+// RetryAfterMS is set on 503s: a jittered client backoff hint mirroring
+// the Retry-After header at millisecond resolution.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error        string `json:"error"`
+	RetryAfterMS int    `json:"retryAfterMS,omitempty"`
+}
+
+// batchResponse is the body of POST /v1/requests:batch. IDs are the
+// external ids of the accepted lines in submission order (error lines
+// excluded); Shed counts requests dropped by the reward-aware overload
+// policy while this batch was ingested.
+type batchResponse struct {
+	Accepted int         `json:"accepted"`
+	Shed     int         `json:"shed"`
+	IDs      []uint64    `json:"ids,omitempty"`
+	Errors   []LineError `json:"errors,omitempty"`
+}
+
+// maxBatchBody bounds the NDJSON request body; batches beyond it fail
+// with 413 rather than buffering without limit.
+const maxBatchBody = 32 << 20
+
+// retryAfterHint picks the jittered backoff hint for a 503: between one
+// and two base intervals, uniformly, so a synchronized burst of shed
+// clients does not return as a synchronized burst of retries.
+func retryAfterHint(base time.Duration) (header string, ms int) {
+	retryJitterMu.Lock()
+	f := 1 + retryJitter.Float64()
+	retryJitterMu.Unlock()
+	d := time.Duration(f * float64(base))
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs), int(d / time.Millisecond)
+}
+
+// retryJitter only shapes client backoff hints; it deliberately does
+// not draw from the engine's deterministic seed streams.
+var (
+	retryJitterMu sync.Mutex
+	retryJitter   = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+// writeUnavailable emits the 503 overload contract: Retry-After header
+// plus the structured JSON body with the millisecond hint.
+func writeUnavailable(w http.ResponseWriter, err error) {
+	header, ms := retryAfterHint(500 * time.Millisecond)
+	w.Header().Set("Retry-After", header)
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error(), RetryAfterMS: ms})
 }
 
 // Handler builds the daemon's HTTP API around an engine:
 //
-//	POST /v1/requests      submit a RequestSpec, 202 + {id, slot, state}
-//	GET  /v1/requests/{id} request status from the owning shard
-//	GET  /metrics          Prometheus text exposition
-//	GET  /healthz          200 while the engine loop is alive
-//	GET  /readyz           200 while ticking and accepting intake
+//	POST /v1/requests        submit one RequestSpec, 202 + {id, slot, state}
+//	POST /v1/requests:batch  NDJSON bulk submit, 200 + {accepted, shed, ids, errors}
+//	GET  /v1/requests/{id}   request status from the owning shard
+//	GET  /metrics            Prometheus text exposition
+//	GET  /healthz            200 while the engine loop is alive
+//	GET  /readyz             200 while ticking and accepting intake
+//
+// Overload contract: a 503 (draining, stopped, or ingest saturation)
+// always carries a Retry-After header and a JSON body with a jittered
+// retryAfterMS hint; under saturation the batch path sheds the lowest
+// expected-reward requests first before refusing batches outright.
 func Handler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 
@@ -40,12 +98,52 @@ func Handler(e *Engine) http.Handler {
 		switch {
 		case err == nil:
 			writeJSON(w, http.StatusAccepted, submitResponse{ID: id, Slot: slot, State: StatePending})
-		case errors.Is(err, ErrDraining):
-			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
-		case errors.Is(err, ErrStopped):
-			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		case errors.Is(err, ErrDraining), errors.Is(err, ErrStopped):
+			writeUnavailable(w, err)
 		case errors.Is(err, ErrBadSpec):
 			writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		}
+	})
+
+	mux.HandleFunc("POST /v1/requests:batch", func(w http.ResponseWriter, r *http.Request) {
+		body := http.MaxBytesReader(w, r.Body, maxBatchBody)
+		lines, lineErrs, err := DecodeBatch(body, 0, 0)
+		if err != nil {
+			status := http.StatusBadRequest
+			var tooBig *http.MaxBytesError
+			if errors.Is(err, ErrBatchTooLarge) || errors.As(err, &tooBig) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			writeJSON(w, status, errorResponse{Error: "bad batch: " + err.Error()})
+			return
+		}
+		// Validate up front so malformed specs come back as line errors
+		// instead of asynchronous sheds.
+		specs := make([]RequestSpec, 0, len(lines))
+		for _, ln := range lines {
+			if verr := e.ValidateSpec(ln.Spec); verr != nil {
+				lineErrs = append(lineErrs, LineError{Line: ln.Line, Error: verr.Error()})
+				continue
+			}
+			specs = append(specs, ln.Spec)
+		}
+		if len(specs) == 0 && len(lineErrs) == 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty batch"})
+			return
+		}
+		res, err := e.SubmitBatch(specs)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusOK, batchResponse{
+				Accepted: len(res.IDs),
+				Shed:     res.Shed,
+				IDs:      res.IDs,
+				Errors:   lineErrs,
+			})
+		case errors.Is(err, ErrSaturated), errors.Is(err, ErrDraining), errors.Is(err, ErrStopped):
+			writeUnavailable(w, err)
 		default:
 			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		}
@@ -59,7 +157,7 @@ func Handler(e *Engine) http.Handler {
 		}
 		rec, ok, err := e.Status(id)
 		if err != nil {
-			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+			writeUnavailable(w, err)
 			return
 		}
 		if !ok {
@@ -72,7 +170,7 @@ func Handler(e *Engine) http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		hits, misses := e.WarmStats()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = e.Metrics().WriteProm(w, hits, misses, e.Gauges())
+		_ = e.Metrics().WriteProm(w, hits, misses, e.StagedDepth(), e.Gauges())
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {

@@ -202,3 +202,119 @@ func TestHealthEndpoints(t *testing.T) {
 		t.Fatalf("healthz after stop %d, want 503", resp.StatusCode)
 	}
 }
+
+// postNDJSON posts a raw NDJSON body to the batch endpoint.
+func postNDJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/requests:batch", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestHTTPBatchSubmit drives the NDJSON bulk endpoint: good lines admit
+// in order, bad lines come back as per-line errors without sinking the
+// batch, and the assigned ids resolve via the status API.
+func TestHTTPBatchSubmit(t *testing.T) {
+	e, srv := newTestServer(t)
+
+	body := `{"accessStation":0,"durationSlots":3}
+{"accessStation":99}
+{not json
+{"accessStation":1,"deadlineMS":150}
+`
+	resp, out := postNDJSON(t, srv.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch -> %d: %s", resp.StatusCode, out)
+	}
+	var br batchResponse
+	if err := json.Unmarshal(out, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Accepted != 2 || len(br.IDs) != 2 || br.Shed != 0 {
+		t.Fatalf("batch response %+v, want 2 accepted", br)
+	}
+	if len(br.Errors) != 2 {
+		t.Fatalf("line errors %+v, want 2 (bad station line 2, bad JSON line 3)", br.Errors)
+	}
+	errLines := map[int]bool{br.Errors[0].Line: true, br.Errors[1].Line: true}
+	if !errLines[2] || !errLines[3] {
+		t.Fatalf("line errors on %+v, want lines 2 and 3", br.Errors)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range br.IDs {
+		resp, body := get(t, fmt.Sprintf("%s/v1/requests/%d", srv.URL, id))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d -> %d: %s", id, resp.StatusCode, body)
+		}
+		var rec RequestRecord
+		if err := json.Unmarshal(body, &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.State != StatePending {
+			t.Fatalf("batch request %d state %q, want pending", id, rec.State)
+		}
+	}
+
+	// All-garbage batch: 200 with only line errors, nothing admitted.
+	resp, out = postNDJSON(t, srv.URL, "{nope\n")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("all-garbage batch -> %d: %s", resp.StatusCode, out)
+	}
+	if err := json.Unmarshal(out, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Accepted != 0 || len(br.Errors) != 1 {
+		t.Fatalf("all-garbage response %+v", br)
+	}
+
+	// Empty body is a client error.
+	resp, _ = postNDJSON(t, srv.URL, "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch -> %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHTTPOverloadContract pins the 503 shape: Retry-After header, JSON
+// body with a jittered retryAfterMS hint in [500, 1000).
+func TestHTTPOverloadContract(t *testing.T) {
+	e, srv := newTestServer(t)
+	// Keep the loop alive through the drain so the refusal is ErrDraining.
+	if _, _, err := e.Submit(RequestSpec{AccessStation: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for _, post := range []func() (*http.Response, []byte){
+		func() (*http.Response, []byte) { return postJSON(t, srv.URL+"/v1/requests", RequestSpec{}) },
+		func() (*http.Response, []byte) { return postNDJSON(t, srv.URL, "{}\n") },
+	} {
+		resp, out := post()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("draining submit -> %d, want 503", resp.StatusCode)
+		}
+		ra := resp.Header.Get("Retry-After")
+		if ra == "" {
+			t.Fatal("503 without Retry-After header")
+		}
+		var eresp errorResponse
+		if err := json.Unmarshal(out, &eresp); err != nil {
+			t.Fatalf("503 body not structured JSON: %q", out)
+		}
+		if eresp.Error == "" {
+			t.Fatal("503 body missing error message")
+		}
+		if eresp.RetryAfterMS < 500 || eresp.RetryAfterMS >= 1000 {
+			t.Fatalf("retryAfterMS = %d, want jittered in [500, 1000)", eresp.RetryAfterMS)
+		}
+	}
+}

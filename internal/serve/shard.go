@@ -27,6 +27,10 @@ const (
 	// StateExpired: never admitted; deadline became unreachable on every
 	// station (terminal).
 	StateExpired = "expired"
+	// StateShed: accepted into the batched intake path but dropped by
+	// the reward-aware overload policy (or refused at ingest) before
+	// ever reaching the scheduler (terminal).
+	StateShed = "shed"
 )
 
 // RequestRecord is one request's externally visible status.
@@ -44,7 +48,7 @@ type RequestRecord struct {
 // terminal reports whether the record can be evicted from the registry.
 func (r *RequestRecord) terminal() bool {
 	switch r.State {
-	case StateCompleted, StateEvicted, StateExpired:
+	case StateCompleted, StateEvicted, StateExpired, StateShed:
 		return true
 	}
 	return false
@@ -58,6 +62,7 @@ const (
 	evEvicted
 	evExpired
 	evCompleted
+	evShed
 )
 
 // requestEvent is one request-state transition published by the engine
@@ -196,6 +201,13 @@ func (s *shard) apply(ev requestEvent) {
 		if rec, ok := s.records[ev.id]; ok {
 			rec.State = StateCompleted
 			rec.DepartSlot = ev.slot
+		}
+	case evShed:
+		// Only a still-pending record can shed; a scheduler decision
+		// that raced ahead wins.
+		if rec, ok := s.records[ev.id]; ok && rec.State == StatePending {
+			rec.State = StateShed
+			rec.DecisionSlot = ev.slot
 		}
 	}
 }
