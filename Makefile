@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build test race oracle bench bench-check bench-smoke load-smoke fuzz lint fmt vet clean
+.PHONY: verify build test race oracle cluster-parity bench bench-check bench-smoke load-smoke fuzz lint fmt vet clean
 
 ## verify: tier-1 gate — build everything, vet, gofmt check, full tests.
 verify: build vet fmt-check test
@@ -17,7 +17,15 @@ test:
 ## race: concurrency-sensitive packages under the race detector
 ## (shortened experiment profile, same as the CI race job).
 race:
-	$(GO) test -race -short ./internal/experiment/... ./internal/sim/... ./internal/serve/... ./internal/oracle/... ./cmd/arserved/...
+	$(GO) test -race -short ./internal/experiment/... ./internal/sim/... ./internal/serve/... ./internal/cluster/... ./internal/oracle/... ./cmd/arserved/...
+
+## cluster-parity: the sharding correctness gate — the oracle replay
+## differential proving 1-, 2-, and 8-shard clusters emit identical
+## decision streams, plus the reshard-restore and migration-race
+## contracts, all under the race detector (same as the CI
+## cluster-parity job).
+cluster-parity:
+	$(GO) test -race -count=1 -run 'TestClusterParity|TestClusterCheckpointReshard|TestMigrationRace' ./internal/cluster/
 
 ## oracle: differential oracle suite plus the mutation smoke check,
 ## mirroring the CI oracle job — the oraclemutant build must FAIL the
@@ -41,6 +49,8 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkServeSlot' -benchtime 1000x -benchmem . | tee -a bench-raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkServeIngest' -benchtime 200x -benchmem . | tee -a bench-raw.txt
 	$(GO) run ./cmd/benchjson -in bench-raw.txt -out BENCH_PR5.json
+	$(GO) test -run '^$$' -bench 'BenchmarkClusterServeSlot' -benchtime 200x -benchmem . | tee bench-cluster-raw.txt
+	$(GO) run ./cmd/benchjson -in bench-cluster-raw.txt -out BENCH_PR7.json
 
 ## bench-check: re-run the gated serve-slot benchmarks at the baseline's
 ## pinned iteration count and fail on a >10% ns/op regression or any
@@ -53,16 +63,20 @@ bench-check:
 		| $(GO) run ./cmd/benchjson -tee -out bench-new.json
 	$(GO) test -run '^$$' -bench 'BenchmarkServeIngest' -benchtime 200x -benchmem . \
 		| $(GO) run ./cmd/benchjson -tee -out bench-ingest.json
+	$(GO) test -run '^$$' -bench 'BenchmarkClusterServeSlot' -benchtime 200x -benchmem . \
+		| $(GO) run ./cmd/benchjson -tee -out bench-cluster-new.json
 	$(GO) run ./cmd/benchjson -compare -old BENCH_PR5.json -new bench-new.json -gate '^BenchmarkServeSlot'
 	$(GO) run ./cmd/benchjson -compare -old BENCH_PR5.json -new bench-ingest.json \
 		-gate '^BenchmarkServeIngest' -allocs-gate '^$$'
+	$(GO) run ./cmd/benchjson -compare -old BENCH_PR7.json -new bench-cluster-new.json \
+		-gate '^BenchmarkClusterServeSlot' -allocs-gate '^$$'
 
 ## bench-smoke: compile-and-run-once pass over the benchmark harness,
 ## mirroring the CI bench-smoke job. No regression gate here: at
 ## -benchtime 1x neither timings nor allocation counts are comparable
 ## to the amortized baseline (bench-check is the gate).
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkAppro|BenchmarkDynamicRRRun|BenchmarkLPColdVsWarm|BenchmarkServeSlot|BenchmarkServeIngest' -benchtime 1x -benchmem . \
+	$(GO) test -run '^$$' -bench 'BenchmarkAppro|BenchmarkDynamicRRRun|BenchmarkLPColdVsWarm|BenchmarkServeSlot|BenchmarkServeIngest|BenchmarkClusterServeSlot' -benchtime 1x -benchmem . \
 		| $(GO) run ./cmd/benchjson -tee -out bench-smoke.json
 
 ## load-smoke: build arserved and drive the batched intake at 100k req/s
@@ -107,4 +121,5 @@ vet:
 
 clean:
 	rm -f mecoffload.test bench-smoke.txt bench-smoke.json bench-new.json \
-		bench-ingest.json bench-raw.txt arserved-load load-smoke.json
+		bench-ingest.json bench-raw.txt bench-cluster-raw.txt \
+		bench-cluster-new.json arserved-load load-smoke.json

@@ -1,0 +1,113 @@
+package mecoffload
+
+import (
+	"fmt"
+	"testing"
+
+	"mecoffload/internal/cluster"
+	"mecoffload/internal/graph"
+	"mecoffload/internal/mec"
+	"mecoffload/internal/serve"
+	"mecoffload/internal/topology"
+)
+
+// benchIslandNetwork builds `islands` disconnected chains of `per`
+// stations, the partition-aligned topology the cluster shards along:
+// candidate sets stay island-confined, so every shard count from 1 to
+// `islands` schedules the same requests over the same stations.
+func benchIslandNetwork(b *testing.B, islands, per int) *mec.Network {
+	b.Helper()
+	n := islands * per
+	g := graph.New(n)
+	nodes := make([]topology.Node, n)
+	stations := make([]mec.BaseStation, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = topology.Node{X: float64(i%per) * 0.01, Y: float64(i/per) * 0.1}
+		stations[i] = mec.BaseStation{CapacityMHz: 3200, SpeedFactor: 1}
+	}
+	for isl := 0; isl < islands; isl++ {
+		base := isl * per
+		for k := 1; k < per; k++ {
+			if _, err := g.AddEdge(base+k-1, base+k, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	net, err := mec.NewNetwork(mec.NetworkConfig{
+		Stations: stations,
+		Topo:     &topology.Topology{Graph: g, Nodes: nodes},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net
+}
+
+// BenchmarkClusterServeSlot measures one cluster scheduling slot —
+// burst-submit across every island, then a lockstep Tick — at 1, 2, 4,
+// and 8 shards over the same 8-island topology. The per-slot LP work
+// partitions cleanly along islands, so ServeSlot throughput must scale
+// monotonically from 1 to 4 shards (the acceptance gate this benchmark
+// pins; see Makefile bench / BENCH_PR7.json).
+func BenchmarkClusterServeSlot(b *testing.B) {
+	const islands, per = 8, 4
+	for _, shards := range []int{1, 2, 4, 8} {
+		// "=" not "-": benchjson strips a trailing -N as the GOMAXPROCS
+		// suffix, and the A/B gate needs distinct per-shard-count names.
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			net := benchIslandNetwork(b, islands, per)
+			c, err := cluster.New(cluster.Config{
+				Net:            net,
+				Shards:         shards,
+				SchedulerName:  "dynamicrr",
+				Seed:           17,
+				MigrationEvery: -1, // island candidates never span shards
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.Start()
+			defer func() { _ = c.Stop() }()
+
+			burst := make([]serve.RequestSpec, islands*8)
+			for i := range burst {
+				burst[i] = serve.RequestSpec{
+					AccessStation: (i%islands)*per + (i/islands)%per,
+					DurationSlots: 6,
+					Outcomes: []serve.OutcomeSpec{
+						{RateMBs: 40, Prob: 1, Reward: float64(300 + (i*7)%400)},
+					},
+				}
+			}
+			// Warm every shard's LP basis cache.
+			if _, err := c.SubmitBatch(burst); err != nil {
+				b.Fatal(err)
+			}
+			if err := c.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			if err := c.Tick(); err != nil {
+				b.Fatal(err)
+			}
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Intake happens off the clock: ServeSlot measures the
+				// scheduling slot itself (LP solve, settlement, feedback
+				// fan-in), the path that partitions across shards.
+				b.StopTimer()
+				if _, err := c.SubmitBatch(burst); err != nil {
+					b.Fatal(err)
+				}
+				if err := c.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := c.Tick(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"mecoffload/internal/cluster"
 	"mecoffload/internal/mec"
 	"mecoffload/internal/oracle"
 	"mecoffload/internal/rnd"
@@ -68,6 +69,7 @@ func run(args []string, out io.Writer) error {
 		replayRate = fs.Int("requests-per-30fps", 1, "replay: requests per second per 30 fps of trace")
 		replayDump = fs.String("replay-dump", "", "replay: write per-slot admission decisions as JSON to this file")
 		workers    = fs.Int("workers", 1, "concurrent component solves per slot LP (dynamicrr only; decisions are identical for every value)")
+		clShards   = fs.Int("cluster-shards", 0, "run N scheduler shards behind the cluster router (0 = single engine)")
 		pprofAddr  = fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
 
 		ringCap    = fs.Int("ring", 0, "batched-ingest ring capacity (0 = default 4096, rounded up to a power of two)")
@@ -145,6 +147,31 @@ func run(args []string, out io.Writer) error {
 	}
 	if *trace {
 		cfg.TraceWriter = out
+	}
+
+	if *clShards > 0 {
+		if *loadgen {
+			return errors.New("-loadgen does not support -cluster-shards; drive the cluster over HTTP or use -replay")
+		}
+		ccfg := cluster.Config{
+			Net:             net_,
+			Shards:          *clShards,
+			SchedulerName:   *schedName,
+			DynamicRR:       sim.DynamicRROptions{Workers: *workers},
+			SlotLengthMS:    *slotMS,
+			Seed:            *seed,
+			CheckpointPath:  *ckptPath,
+			CheckpointEvery: *ckptEvery,
+			RingCapacity:    *ringCap,
+			StageCapacity:   *stageCap,
+			MaxPending:      *maxPending,
+			Logf:            cfg.Logf,
+		}
+		if *replay != "" {
+			return runClusterReplay(ccfg, *replay, *replayDump, out)
+		}
+		ccfg.TickInterval = *tick
+		return runClusterServe(ccfg, *addr, *drainAfter, out)
 	}
 
 	if *loadgen {

@@ -1,0 +1,508 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"mecoffload/internal/bandit"
+	"mecoffload/internal/serve"
+	"mecoffload/internal/sim"
+)
+
+// ManifestVersion is the cluster manifest format version.
+const ManifestVersion = 1
+
+// ErrNoManifest reports a missing manifest file (a fresh start).
+var ErrNoManifest = errors.New("cluster: no manifest")
+
+// manifestIDPair records one live request's identity: its shard-local
+// external id, its cluster-global id, and — for spanning requests — its
+// global candidate stations.
+type manifestIDPair struct {
+	Ext      uint64 `json:"ext"`
+	Global   uint64 `json:"global"`
+	Spanning []int  `json:"spanning,omitempty"`
+}
+
+// manifestShard describes one shard's snapshot: which global stations
+// it owned, the snapshot file (relative to the manifest), and the id
+// table translating its local ids back to cluster ids.
+type manifestShard struct {
+	Index    int              `json:"index"`
+	Stations []int            `json:"stations"`
+	File     string           `json:"file"`
+	IDs      []manifestIDPair `json:"ids,omitempty"`
+}
+
+// Manifest composes per-shard serve checkpoints into one recoverable
+// cluster state. The manifest is written atomically AFTER every shard
+// file, so a crash mid-checkpoint leaves the previous generation fully
+// intact; restore is shard-count-agnostic because all state is recorded
+// in global station and request ids.
+type Manifest struct {
+	Version      int             `json:"version"`
+	Generation   uint64          `json:"generation"`
+	Slot         int             `json:"slot"`
+	Scheduler    string          `json:"scheduler"`
+	NextGlobalID uint64          `json:"nextGlobalId"`
+	Shards       []manifestShard `json:"shards"`
+}
+
+// bindings snapshots one shard's live id table for the manifest.
+func (rt *router) bindings(shard int) []manifestIDPair {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make([]manifestIDPair, 0, len(rt.ext2global[shard]))
+	for ext, g := range rt.ext2global[shard] {
+		pair := manifestIDPair{Ext: ext, Global: g}
+		if loc, ok := rt.table[g]; ok {
+			pair.Spanning = loc.cands
+		}
+		out = append(out, pair)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Global < out[b].Global })
+	return out
+}
+
+func (rt *router) setNextGlobal(n uint64) {
+	rt.mu.Lock()
+	if n > rt.nextGlobal {
+		rt.nextGlobal = n
+	}
+	rt.mu.Unlock()
+}
+
+// shardFile names one shard's snapshot for one manifest generation.
+func shardFile(base string, shard int, gen uint64) string {
+	return fmt.Sprintf("%s.shard%d.gen%d", base, shard, gen)
+}
+
+// checkpointLocked writes a full cluster checkpoint: flush and snapshot
+// every alive shard, write each snapshot to a generation-stamped file,
+// then atomically swing the manifest to the new generation and sweep
+// the previous one. Dead (fully drained) shards contribute an empty
+// snapshot so restore still sees every partition.
+func (c *Cluster) checkpointLocked() error {
+	base := c.cfg.CheckpointPath
+	gen := c.manifestGen + 1
+	man := &Manifest{
+		Version:    ManifestVersion,
+		Generation: gen,
+		Slot:       c.slot,
+		Scheduler:  c.nodes[0].eng.SchedulerName(),
+	}
+	var files []string
+	for k, nd := range c.nodes {
+		var ck *serve.Checkpoint
+		if nd.eng.Alive() {
+			if err := nd.eng.Flush(); err != nil && !errors.Is(err, serve.ErrStopped) {
+				return fmt.Errorf("cluster: flushing shard %d: %w", k, err)
+			}
+			snap, err := nd.eng.Snapshot()
+			if err != nil {
+				if !errors.Is(err, serve.ErrStopped) {
+					return fmt.Errorf("cluster: snapshotting shard %d: %w", k, err)
+				}
+				snap = nil
+			}
+			ck = snap
+		}
+		if ck == nil {
+			ck = &serve.Checkpoint{
+				Version:   serve.CheckpointVersion,
+				Slot:      c.slot,
+				Scheduler: man.Scheduler,
+			}
+		}
+		file := shardFile(base, k, gen)
+		if err := serve.WriteCheckpoint(file, ck); err != nil {
+			return fmt.Errorf("cluster: writing shard %d snapshot: %w", k, err)
+		}
+		files = append(files, file)
+		man.Shards = append(man.Shards, manifestShard{
+			Index:    k,
+			Stations: append([]int(nil), nd.stations...),
+			File:     filepath.Base(file),
+			IDs:      c.router.bindings(k),
+		})
+	}
+	man.NextGlobalID = c.router.stats().Routed
+	if err := writeManifest(base, man); err != nil {
+		return err
+	}
+	for _, old := range c.prevFiles {
+		os.Remove(old) // best-effort sweep of the superseded generation
+	}
+	c.prevFiles = files
+	c.manifestGen = gen
+	c.checkpoints.Add(1)
+	return nil
+}
+
+// writeManifest persists the manifest atomically: temp file in the same
+// directory, fsync, rename.
+func writeManifest(path string, man *Manifest) error {
+	data, err := json.MarshalIndent(man, "", " ")
+	if err != nil {
+		return fmt.Errorf("cluster: encoding manifest: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("cluster: manifest temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cluster: writing manifest: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cluster: syncing manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cluster: closing manifest: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("cluster: publishing manifest: %w", err)
+	}
+	return nil
+}
+
+// loadManifest reads a manifest and every shard snapshot it names.
+func loadManifest(path string) (*Manifest, []*serve.Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil, ErrNoManifest
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: reading manifest: %w", err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, nil, fmt.Errorf("cluster: decoding manifest %s: %w", path, err)
+	}
+	if man.Version != ManifestVersion {
+		return nil, nil, fmt.Errorf("cluster: manifest %s has version %d, want %d", path, man.Version, ManifestVersion)
+	}
+	dir := filepath.Dir(path)
+	snaps := make([]*serve.Checkpoint, len(man.Shards))
+	for i, sh := range man.Shards {
+		ck, err := serve.LoadCheckpoint(filepath.Join(dir, sh.File))
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: shard %d snapshot: %w", sh.Index, err)
+		}
+		snaps[i] = ck
+	}
+	return &man, snaps, nil
+}
+
+// globalRequest is one live request lifted into global id space during
+// restore composition.
+type globalRequest struct {
+	global   uint64
+	arrival  int
+	spec     serve.RequestSpec // AccessStation in global ids
+	spanning []int
+	running  *sim.RunningSnapshot // stations in global ids; nil if pending
+}
+
+// composeRestore merges the manifest's per-shard snapshots into one
+// global request set and re-partitions it onto the CURRENT shard
+// layout, which may differ from the one that wrote the manifest.
+// Pending requests re-route through the normal candidate rule; running
+// streams must land on a shard owning every station they hold shares on
+// — a stream split by the new partition is a loud error, not a silent
+// drop. The learner state is cloned into every new shard (each shard's
+// bandit continues from the global reward history) and lifetime totals
+// accumulate onto shard 0 so cluster-wide counters survive resharding.
+func (c *Cluster) composeRestore(man *Manifest, snaps []*serve.Checkpoint) ([]*serve.Checkpoint, error) {
+	var merged []globalRequest
+	var banditSnap *bandit.LipschitzSnapshot
+	var totals serve.Totals
+	for si, sh := range man.Shards {
+		ck := snaps[si]
+		addTotals(&totals, ck.Totals)
+		if banditSnap == nil && ck.Bandit != nil {
+			banditSnap = ck.Bandit
+		}
+		ext2pair := make(map[uint64]manifestIDPair, len(sh.IDs))
+		for _, p := range sh.IDs {
+			ext2pair[p.Ext] = p
+		}
+		runOf := make(map[uint64]sim.RunningSnapshot, len(ck.Running))
+		for _, rs := range ck.Running {
+			runOf[uint64(rs.Request)] = rs
+		}
+		for _, cr := range ck.Requests {
+			pair, ok := ext2pair[cr.ExternalID]
+			if !ok {
+				return nil, fmt.Errorf("shard %d request ext=%d missing from manifest id table", sh.Index, cr.ExternalID)
+			}
+			if cr.Spec.AccessStation < 0 || cr.Spec.AccessStation >= len(sh.Stations) {
+				return nil, fmt.Errorf("shard %d request ext=%d access station %d outside its partition", sh.Index, cr.ExternalID, cr.Spec.AccessStation)
+			}
+			gr := globalRequest{
+				global:   pair.Global,
+				arrival:  cr.ArrivalSlot,
+				spec:     cr.Spec,
+				spanning: pair.Spanning,
+			}
+			gr.spec.AccessStation = sh.Stations[cr.Spec.AccessStation]
+			if cr.Running {
+				rs, ok := runOf[cr.ExternalID]
+				if !ok {
+					return nil, fmt.Errorf("shard %d request ext=%d marked running but has no stream snapshot", sh.Index, cr.ExternalID)
+				}
+				grs, err := globalizeStream(rs, sh.Stations)
+				if err != nil {
+					return nil, fmt.Errorf("shard %d request ext=%d: %w", sh.Index, cr.ExternalID, err)
+				}
+				gr.running = grs
+			}
+			merged = append(merged, gr)
+		}
+	}
+	sort.Slice(merged, func(a, b int) bool { return merged[a].global < merged[b].global })
+
+	out := make([]*serve.Checkpoint, len(c.parts))
+	for k := range out {
+		out[k] = &serve.Checkpoint{
+			Version:   serve.CheckpointVersion,
+			Slot:      man.Slot,
+			Scheduler: man.Scheduler,
+		}
+	}
+	nextExt := make([]uint64, len(c.parts))
+	for _, gr := range merged {
+		var shard int
+		if gr.running != nil {
+			s, err := c.streamOwner(gr.running)
+			if err != nil {
+				return nil, fmt.Errorf("running stream for global id %d: %w", gr.global, err)
+			}
+			shard = s
+		} else {
+			s, spanCands, err := c.router.route(gr.spec)
+			if err != nil {
+				return nil, fmt.Errorf("re-routing global id %d: %w", gr.global, err)
+			}
+			shard, gr.spanning = s, spanCands
+		}
+		ext := nextExt[shard]
+		nextExt[shard]++
+		spec := gr.spec
+		spec.AccessStation = c.localIndex(shard, spec.AccessStation, gr.spanning)
+		cr := serve.CheckpointRequest{
+			ExternalID:  ext,
+			ArrivalSlot: gr.arrival,
+			Spec:        spec,
+		}
+		if gr.running != nil {
+			cr.Running = true
+			ls, err := localizeStream(gr.running, shard, c.owner, c.parts)
+			if err != nil {
+				return nil, fmt.Errorf("running stream for global id %d: %w", gr.global, err)
+			}
+			ls.Request = int(ext)
+			out[shard].Running = append(out[shard].Running, *ls)
+		}
+		out[shard].Requests = append(out[shard].Requests, cr)
+		c.router.bindAt(gr.global, shard, ext, gr.spanning)
+	}
+	for k := range out {
+		out[k].NextExternalID = nextExt[k]
+		if banditSnap != nil {
+			clone, err := cloneBandit(banditSnap)
+			if err != nil {
+				return nil, err
+			}
+			out[k].Bandit = clone
+		}
+	}
+	addTotals(&out[0].Totals, totals)
+	c.router.setNextGlobal(man.NextGlobalID)
+	return out, nil
+}
+
+// localIndex maps a global station onto a shard-local one, applying the
+// same nearest-owned-candidate stand-in rule as live submission.
+func (c *Cluster) localIndex(shard, globalStation int, spanCands []int) int {
+	part := c.parts[shard]
+	for l, g := range part {
+		if g == globalStation {
+			return l
+		}
+	}
+	var owned []int
+	for _, st := range spanCands {
+		if c.owner[st] == shard {
+			owned = append(owned, st)
+		}
+	}
+	if len(owned) == 0 {
+		owned = part
+	}
+	nearest, _ := c.net.NearestStation(globalStation, owned)
+	for l, g := range part {
+		if g == nearest {
+			return l
+		}
+	}
+	return 0
+}
+
+// streamOwner finds the unique new shard owning every station a running
+// stream touches.
+func (c *Cluster) streamOwner(rs *sim.RunningSnapshot) (int, error) {
+	shard := -1
+	check := func(st int) error {
+		if st < 0 || st >= len(c.owner) {
+			return fmt.Errorf("station %d out of range", st)
+		}
+		if shard < 0 {
+			shard = c.owner[st]
+		} else if c.owner[st] != shard {
+			return fmt.Errorf("stream spans shards %d and %d (stations %v / procStation %d); "+
+				"restore with a partition that keeps its stations together", shard, c.owner[st], keysOf(rs.Shares), rs.ProcStation)
+		}
+		return nil
+	}
+	for st := range rs.Shares {
+		if err := check(st); err != nil {
+			return 0, err
+		}
+	}
+	for st := range rs.ExpShares {
+		if err := check(st); err != nil {
+			return 0, err
+		}
+	}
+	if err := check(rs.ProcStation); err != nil {
+		return 0, err
+	}
+	if shard < 0 {
+		return 0, fmt.Errorf("stream holds no stations")
+	}
+	return shard, nil
+}
+
+// globalizeStream lifts a shard-local running snapshot into global
+// station ids.
+func globalizeStream(rs sim.RunningSnapshot, stations []int) (*sim.RunningSnapshot, error) {
+	mapSt := func(l int) (int, error) {
+		if l < 0 || l >= len(stations) {
+			return 0, fmt.Errorf("stream station %d outside its partition", l)
+		}
+		return stations[l], nil
+	}
+	out := rs
+	out.Shares = make(map[int]float64, len(rs.Shares))
+	for l, v := range rs.Shares {
+		g, err := mapSt(l)
+		if err != nil {
+			return nil, err
+		}
+		out.Shares[g] = v
+	}
+	if rs.ExpShares != nil {
+		out.ExpShares = make(map[int]float64, len(rs.ExpShares))
+		for l, v := range rs.ExpShares {
+			g, err := mapSt(l)
+			if err != nil {
+				return nil, err
+			}
+			out.ExpShares[g] = v
+		}
+	}
+	g, err := mapSt(rs.ProcStation)
+	if err != nil {
+		return nil, err
+	}
+	out.ProcStation = g
+	return &out, nil
+}
+
+// localizeStream maps a global-station stream onto one new shard's
+// local ids; streamOwner already proved every station lands there.
+func localizeStream(rs *sim.RunningSnapshot, shard int, owner []int, parts [][]int) (*sim.RunningSnapshot, error) {
+	localOf := make(map[int]int, len(parts[shard]))
+	for l, g := range parts[shard] {
+		localOf[g] = l
+	}
+	mapSt := func(g int) (int, error) {
+		l, ok := localOf[g]
+		if !ok {
+			return 0, fmt.Errorf("station %d not owned by shard %d", g, shard)
+		}
+		return l, nil
+	}
+	out := *rs
+	out.Shares = make(map[int]float64, len(rs.Shares))
+	for g, v := range rs.Shares {
+		l, err := mapSt(g)
+		if err != nil {
+			return nil, err
+		}
+		out.Shares[l] = v
+	}
+	if rs.ExpShares != nil {
+		out.ExpShares = make(map[int]float64, len(rs.ExpShares))
+		for g, v := range rs.ExpShares {
+			l, err := mapSt(g)
+			if err != nil {
+				return nil, err
+			}
+			out.ExpShares[l] = v
+		}
+	}
+	l, err := mapSt(rs.ProcStation)
+	if err != nil {
+		return nil, err
+	}
+	out.ProcStation = l
+	return &out, nil
+}
+
+// cloneBandit deep-copies a learner snapshot through its JSON form so
+// two shards never share arm-statistic slices.
+func cloneBandit(s *bandit.LipschitzSnapshot) (*bandit.LipschitzSnapshot, error) {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: cloning bandit snapshot: %w", err)
+	}
+	out := new(bandit.LipschitzSnapshot)
+	if err := json.Unmarshal(data, out); err != nil {
+		return nil, fmt.Errorf("cluster: cloning bandit snapshot: %w", err)
+	}
+	return out, nil
+}
+
+func addTotals(dst *serve.Totals, src serve.Totals) {
+	dst.Submitted += src.Submitted
+	dst.Rejected += src.Rejected
+	dst.Admitted += src.Admitted
+	dst.Served += src.Served
+	dst.Evicted += src.Evicted
+	dst.Expired += src.Expired
+	dst.Departed += src.Departed
+	dst.Ticks += src.Ticks
+	dst.Reward += src.Reward
+	dst.Batches += src.Batches
+	dst.BatchReqs += src.BatchReqs
+	dst.Shed += src.Shed
+	dst.Saturated += src.Saturated
+}
+
+func keysOf(m map[int]float64) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,597 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mecoffload/internal/mec"
+	"mecoffload/internal/rnd"
+	"mecoffload/internal/serve"
+	"mecoffload/internal/sim"
+)
+
+// Config parameterizes New.
+type Config struct {
+	// Net is the full MEC topology (required). Each shard serves the
+	// induced sub-network of its station partition.
+	Net *mec.Network
+	// Shards is the number of scheduler shards (default 1, at most one
+	// per station).
+	Shards int
+	// SchedulerName, DynamicRR, SlotLengthMS, and StepChecker pass
+	// through to every shard's serve.Config.
+	SchedulerName string
+	DynamicRR     sim.DynamicRROptions
+	SlotLengthMS  float64
+	StepChecker   sim.StepChecker
+	// TickInterval drives the cluster clock: shards always run with
+	// manual ticks, and the cluster advances them in lockstep so slot
+	// rewards aggregate globally. Zero means manual Tick (tests, replay).
+	TickInterval time.Duration
+	// Seed derives every per-shard randomness stream (engine rng and
+	// Retry-After jitter) through internal/rnd labels.
+	Seed int64
+	// CheckpointPath, when set, names the cluster manifest; per-shard
+	// snapshots are written beside it. New restores from an existing
+	// manifest — with any shard count — and the cluster rewrites it
+	// every CheckpointEvery slots (default 50) and at Stop.
+	CheckpointPath  string
+	CheckpointEvery int
+	// MigrationEvery is the slot period of the cross-shard migration
+	// sweep (default 4; negative disables migration). MigrationBurst
+	// bounds commits per sweep (default 4) and MigrationHysteresis is
+	// the minimum free-capacity-fraction advantage a target shard must
+	// offer (default 0.10).
+	MigrationEvery      int
+	MigrationBurst      int
+	MigrationHysteresis float64
+	// Per-shard engine bounds, passed through to serve.Config.
+	RingCapacity       int
+	StageCapacity      int
+	MaxPending         int
+	BatchQueue         int
+	MaxRecordsPerShard int
+	// MaxRouted bounds the router's request table (default 1<<20;
+	// oldest entries evict first, like the shard registries).
+	MaxRouted int
+	// Logf receives operational log lines.
+	Logf func(format string, args ...any)
+	// SlotObserver, when set, receives each cluster slot's admitted
+	// global ids (ascending) and the globally aggregated reward, after
+	// every shard ticked. Replay harnesses use it to build decision
+	// dumps for oracle.DiffCluster.
+	SlotObserver func(slot int, admitted []uint64, reward float64)
+}
+
+// shardSlotReport is one shard's decision report for one slot.
+type shardSlotReport struct {
+	slot     int
+	admitted []uint64 // shard-local external ids
+	reward   float64
+}
+
+// shardNode is one scheduler shard: an engine over an induced
+// sub-network plus the station index maps.
+type shardNode struct {
+	idx      int
+	eng      *serve.Engine
+	subnet   *mec.Network
+	stations []int       // local station -> global station
+	localOf  map[int]int // global station -> local station
+
+	migratedIn  atomic.Uint64
+	migratedOut atomic.Uint64
+
+	mu      sync.Mutex
+	reports []shardSlotReport
+}
+
+func (nd *shardNode) observe(slot int, admitted []uint64, reward float64) {
+	nd.mu.Lock()
+	nd.reports = append(nd.reports, shardSlotReport{slot: slot, admitted: admitted, reward: reward})
+	nd.mu.Unlock()
+}
+
+func (nd *shardNode) takeReports() []shardSlotReport {
+	nd.mu.Lock()
+	r := nd.reports
+	nd.reports = nil
+	nd.mu.Unlock()
+	return r
+}
+
+// Cluster is N scheduler shards behind one router and one clock.
+type Cluster struct {
+	cfg    Config
+	net    *mec.Network
+	parts  [][]int
+	owner  []int // global station -> shard
+	nodes  []*shardNode
+	router *router
+
+	// mu serializes the cluster clock: Tick, the migration sweep, and
+	// checkpoints. Submit/Status take only the router's lock.
+	mu          sync.Mutex
+	slot        int
+	manifestGen uint64
+	prevFiles   []string
+
+	done         chan struct{}
+	tickerStop   chan struct{}
+	startOnce    sync.Once
+	stopOnce     sync.Once
+	lastTickNano atomic.Int64
+	drainFlag    atomic.Bool
+	checkpoints  atomic.Uint64
+
+	migMu   sync.Mutex
+	journal []Migration
+}
+
+// New builds a cluster: the station partition, one engine per shard,
+// and the router. When cfg.CheckpointPath names an existing manifest,
+// the cluster restores from it — the manifest's state re-partitions
+// onto the configured shard count, which may differ from the count that
+// wrote it.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("cluster: nil network")
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if n := cfg.Net.NumStations(); cfg.Shards > n {
+		cfg.Shards = n
+	}
+	if cfg.SlotLengthMS == 0 {
+		cfg.SlotLengthMS = mec.DefaultSlotLengthMS
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 50
+	}
+	if cfg.MigrationEvery == 0 {
+		cfg.MigrationEvery = 4
+	}
+	if cfg.MigrationBurst <= 0 {
+		cfg.MigrationBurst = 4
+	}
+	if cfg.MigrationHysteresis == 0 {
+		cfg.MigrationHysteresis = 0.10
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+
+	parts, err := Partition(cfg.Net, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	owner := make([]int, cfg.Net.NumStations())
+	for k, part := range parts {
+		for _, i := range part {
+			owner[i] = k
+		}
+	}
+
+	c := &Cluster{
+		cfg:        cfg,
+		net:        cfg.Net,
+		parts:      parts,
+		owner:      owner,
+		done:       make(chan struct{}),
+		tickerStop: make(chan struct{}),
+	}
+	c.router = newRouter(cfg.Net, owner, cfg.SlotLengthMS, cfg.Shards, cfg.MaxRouted)
+
+	// Restore from an existing manifest, shard-count-agnostic.
+	var restores []*serve.Checkpoint
+	if cfg.CheckpointPath != "" {
+		man, snaps, err := loadManifest(cfg.CheckpointPath)
+		if err != nil && !errors.Is(err, ErrNoManifest) {
+			return nil, err
+		}
+		if man != nil {
+			restores, err = c.composeRestore(man, snaps)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: restoring manifest: %w", err)
+			}
+			c.slot = man.Slot
+			c.manifestGen = man.Generation
+		}
+	}
+
+	for k, part := range parts {
+		subnet, err := subNetwork(cfg.Net, part)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d sub-network: %w", k, err)
+		}
+		nd := &shardNode{idx: k, subnet: subnet, stations: part, localOf: make(map[int]int, len(part))}
+		for l, g := range part {
+			nd.localOf[g] = l
+		}
+		scfg := serve.Config{
+			Net:                subnet,
+			SchedulerName:      cfg.SchedulerName,
+			DynamicRR:          cfg.DynamicRR,
+			TickInterval:       0, // the cluster owns the clock
+			SlotLengthMS:       cfg.SlotLengthMS,
+			Rng:                rnd.New(cfg.Seed, fmt.Sprintf("cluster-shard-%d", k)),
+			RetrySeed:          rnd.Derive(cfg.Seed, fmt.Sprintf("cluster-retry-%d", k)),
+			DeferFeedback:      true,
+			DecisionObserver:   nd.observe,
+			StepChecker:        cfg.StepChecker,
+			RingCapacity:       cfg.RingCapacity,
+			StageCapacity:      cfg.StageCapacity,
+			MaxPending:         cfg.MaxPending,
+			BatchQueue:         cfg.BatchQueue,
+			MaxRecordsPerShard: cfg.MaxRecordsPerShard,
+			Logf: func(format string, args ...any) {
+				cfg.Logf("[shard %d] "+format, append([]any{k}, args...)...)
+			},
+		}
+		if restores != nil {
+			scfg.Restore = restores[k]
+		}
+		eng, err := serve.New(scfg)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d engine: %w", k, err)
+		}
+		nd.eng = eng
+		c.nodes = append(c.nodes, nd)
+	}
+	return c, nil
+}
+
+// Start launches every shard engine, the done watcher, and — with a
+// tick interval — the cluster clock.
+func (c *Cluster) Start() {
+	c.startOnce.Do(func() {
+		for _, nd := range c.nodes {
+			nd.eng.Start()
+		}
+		go func() {
+			for _, nd := range c.nodes {
+				<-nd.eng.Done()
+			}
+			close(c.done)
+		}()
+		if c.cfg.TickInterval > 0 {
+			go c.runTicker()
+		}
+	})
+}
+
+func (c *Cluster) runTicker() {
+	ticker := time.NewTicker(c.cfg.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if err := c.Tick(); err != nil {
+				if errors.Is(err, serve.ErrStopped) {
+					return
+				}
+				c.cfg.Logf("cluster: tick error: %v", err)
+			}
+		case <-c.tickerStop:
+			return
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// Tick advances every shard by one slot in lockstep, aggregates the
+// slot's realized reward across shards, and delivers that global signal
+// to every shard's threshold learner — the same reward stream a
+// single-engine bandit would see, which is what keeps learners
+// identical across shard counts. Returns serve.ErrStopped once every
+// shard has exited.
+func (c *Cluster) Tick() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tickLocked()
+}
+
+func (c *Cluster) tickLocked() error {
+	errs := make([]error, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, nd := range c.nodes {
+		if !nd.eng.Alive() {
+			errs[i] = serve.ErrStopped
+			continue
+		}
+		wg.Add(1)
+		go func(i int, nd *shardNode) {
+			defer wg.Done()
+			errs[i] = nd.eng.Tick()
+		}(i, nd)
+	}
+	wg.Wait()
+	alive := 0
+	for _, err := range errs {
+		switch {
+		case err == nil:
+			alive++
+		case !errors.Is(err, serve.ErrStopped):
+			return err
+		}
+	}
+
+	t := c.slot
+	total := 0.0
+	var admitted []uint64
+	for _, nd := range c.nodes {
+		for _, r := range nd.takeReports() {
+			total += r.reward
+			for _, ext := range r.admitted {
+				if g, ok := c.router.globalOf(nd.idx, ext); ok {
+					admitted = append(admitted, g)
+				}
+			}
+		}
+	}
+	for _, nd := range c.nodes {
+		if !nd.eng.Alive() {
+			continue
+		}
+		if err := nd.eng.DeliverFeedback(t, total); err != nil && !errors.Is(err, serve.ErrStopped) {
+			return err
+		}
+	}
+	c.slot++
+	c.lastTickNano.Store(time.Now().UnixNano())
+
+	if c.cfg.SlotObserver != nil {
+		sort.Slice(admitted, func(a, b int) bool { return admitted[a] < admitted[b] })
+		c.cfg.SlotObserver(t, admitted, total)
+	}
+	if c.cfg.MigrationEvery > 0 && c.slot%c.cfg.MigrationEvery == 0 {
+		c.sweepLocked()
+	}
+	if c.cfg.CheckpointPath != "" && c.slot%c.cfg.CheckpointEvery == 0 {
+		if err := c.checkpointLocked(); err != nil {
+			c.cfg.Logf("cluster: checkpoint failed: %v", err)
+		}
+	}
+	if alive == 0 {
+		return serve.ErrStopped
+	}
+	return nil
+}
+
+// localSpec remaps a spec's access station into a shard's local index.
+// When the shard does not own the access station (a spanning request
+// homed elsewhere), the nearest owned candidate station stands in —
+// deterministic, and the documented approximation of the home-shard
+// rule.
+func (c *Cluster) localSpec(shard int, spec serve.RequestSpec, spanCands []int) serve.RequestSpec {
+	nd := c.nodes[shard]
+	if l, ok := nd.localOf[spec.AccessStation]; ok {
+		spec.AccessStation = l
+		return spec
+	}
+	var owned []int
+	for _, st := range spanCands {
+		if c.owner[st] == shard {
+			owned = append(owned, st)
+		}
+	}
+	if len(owned) == 0 {
+		owned = nd.stations
+	}
+	nearest, _ := c.net.NearestStation(spec.AccessStation, owned)
+	if l, ok := nd.localOf[nearest]; ok {
+		spec.AccessStation = l
+	} else {
+		spec.AccessStation = 0
+	}
+	return spec
+}
+
+// Submit routes one request to its owning shard and returns its global
+// id and the shard's current slot.
+func (c *Cluster) Submit(spec serve.RequestSpec) (uint64, int, error) {
+	shard, spanCands, err := c.router.route(spec)
+	if err != nil {
+		return 0, 0, err
+	}
+	ext, slot, err := c.nodes[shard].eng.Submit(c.localSpec(shard, spec, spanCands))
+	if err != nil {
+		return 0, 0, err
+	}
+	return c.router.bind(shard, ext, spanCands), slot, nil
+}
+
+// SubmitBatch routes a batch across shards and submits each shard's
+// slice through its engine's batched-ingest path. Global ids come back
+// in submission order. Shards that refuse (saturation, drain) fail
+// their requests; the call errors only when every spec failed.
+func (c *Cluster) SubmitBatch(specs []serve.RequestSpec) (serve.BatchResult, error) {
+	if len(specs) == 0 {
+		return serve.BatchResult{}, nil
+	}
+	type routed struct {
+		shard     int
+		spanCands []int
+	}
+	routes := make([]routed, len(specs))
+	perShard := make([][]serve.RequestSpec, len(c.nodes))
+	for i, spec := range specs {
+		shard, spanCands, err := c.router.route(spec)
+		if err != nil {
+			return serve.BatchResult{}, err
+		}
+		routes[i] = routed{shard: shard, spanCands: spanCands}
+		perShard[shard] = append(perShard[shard], c.localSpec(shard, spec, spanCands))
+	}
+	results := make([]serve.BatchResult, len(c.nodes))
+	shardErr := make([]error, len(c.nodes))
+	for k, slice := range perShard {
+		if len(slice) == 0 {
+			continue
+		}
+		results[k], shardErr[k] = c.nodes[k].eng.SubmitBatch(slice)
+	}
+	// Zip shard results back into submission order, allocating global
+	// ids in that order so they stay dense submission ordinals.
+	next := make([]int, len(c.nodes))
+	var out serve.BatchResult
+	failed := 0
+	var firstErr error
+	for i := range specs {
+		k := routes[i].shard
+		if shardErr[k] != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = shardErr[k]
+			}
+			continue
+		}
+		ext := results[k].IDs[next[k]]
+		next[k]++
+		out.IDs = append(out.IDs, c.router.bind(k, ext, routes[i].spanCands))
+	}
+	for k, res := range results {
+		if shardErr[k] == nil {
+			out.Shed += res.Shed
+		}
+	}
+	if failed == len(specs) {
+		return serve.BatchResult{}, firstErr
+	}
+	return out, nil
+}
+
+// Flush blocks until every accepted batch has reached the shard
+// planners; replay harnesses call it before ticking.
+func (c *Cluster) Flush() error {
+	for _, nd := range c.nodes {
+		if err := nd.eng.Flush(); err != nil && !errors.Is(err, serve.ErrStopped) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Status resolves a global id to its current record; migrated requests
+// resolve at their new owner. The returned record carries the global
+// id.
+func (c *Cluster) Status(id uint64) (serve.RequestRecord, bool, error) {
+	shard, ext, ok := c.router.lookup(id)
+	if !ok {
+		return serve.RequestRecord{}, false, nil
+	}
+	rec, ok, err := c.nodes[shard].eng.Status(ext)
+	if err != nil || !ok {
+		return serve.RequestRecord{}, ok, err
+	}
+	rec.ID = id
+	return rec, true, nil
+}
+
+// ValidateSpec checks a spec against the full topology exactly as the
+// owning shard's intake would.
+func (c *Cluster) ValidateSpec(spec serve.RequestSpec) error {
+	_, err := serve.MaterializeSpec(c.net, spec)
+	return err
+}
+
+// Drain closes intake on every shard; the cluster keeps ticking (via
+// its internal clock or the caller's) until every shard has decided its
+// pending requests and released its streams.
+func (c *Cluster) Drain() error {
+	c.drainFlag.Store(true)
+	for _, nd := range c.nodes {
+		if err := nd.eng.Drain(); err != nil && !errors.Is(err, serve.ErrStopped) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stop writes a final manifest and halts every shard.
+func (c *Cluster) Stop() error {
+	var err error
+	c.stopOnce.Do(func() {
+		close(c.tickerStop)
+		c.mu.Lock()
+		if c.cfg.CheckpointPath != "" {
+			if cerr := c.checkpointLocked(); cerr != nil {
+				c.cfg.Logf("cluster: final manifest failed: %v", cerr)
+				err = cerr
+			}
+		}
+		c.mu.Unlock()
+		for _, nd := range c.nodes {
+			if serr := nd.eng.Stop(); serr != nil && !errors.Is(serr, serve.ErrStopped) && err == nil {
+				err = serr
+			}
+		}
+	})
+	return err
+}
+
+// Done is closed when every shard engine has exited.
+func (c *Cluster) Done() <-chan struct{} { return c.done }
+
+// Alive reports whether any shard engine still runs.
+func (c *Cluster) Alive() bool {
+	for _, nd := range c.nodes {
+		if nd.eng.Alive() {
+			return true
+		}
+	}
+	return false
+}
+
+// Draining reports whether cluster intake is closed.
+func (c *Cluster) Draining() bool { return c.drainFlag.Load() || !c.Alive() }
+
+// Ready reports scheduling liveness: every shard alive, intake open,
+// and — under the internal clock — a cluster tick within the last three
+// intervals.
+func (c *Cluster) Ready() bool {
+	if c.Draining() {
+		return false
+	}
+	for _, nd := range c.nodes {
+		if !nd.eng.Alive() {
+			return false
+		}
+	}
+	if c.cfg.TickInterval <= 0 {
+		return true
+	}
+	last := c.lastTickNano.Load()
+	if last == 0 {
+		return false
+	}
+	return time.Since(time.Unix(0, last)) < 3*c.cfg.TickInterval
+}
+
+// Shards returns the shard count.
+func (c *Cluster) Shards() int { return len(c.nodes) }
+
+// Slot returns the cluster clock's next slot.
+func (c *Cluster) Slot() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.slot
+}
+
+// Partition returns the per-shard global station sets.
+func (c *Cluster) PartitionTable() [][]int {
+	out := make([][]int, len(c.parts))
+	for k, p := range c.parts {
+		out[k] = append([]int(nil), p...)
+	}
+	return out
+}
+
+// RouterStats returns the routing counters.
+func (c *Cluster) RouterStats() RouterStats { return c.router.stats() }

@@ -1,0 +1,162 @@
+// Package cluster runs N scheduler shards — each a serve.Engine owning
+// one station partition — behind a thin router that maps every incoming
+// request's candidate-station set to the owning shard. The partition
+// follows connected components of the backhaul graph (the same
+// components the LP decomposition splits along), shards tick in
+// lockstep under one cluster clock with globally aggregated bandit
+// feedback, pending requests migrate across partition edges through a
+// two-phase handoff, and per-shard checkpoints compose into one
+// recoverable cluster manifest. The correctness contract is decision
+// parity: on a trace whose candidate components respect the partition,
+// a 1-shard and an N-shard cluster make identical schedules
+// (oracle.DiffCluster).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"mecoffload/internal/graph"
+	"mecoffload/internal/mec"
+	"mecoffload/internal/topology"
+)
+
+// Partition assigns every station to exactly one of n shards and
+// returns the per-shard station sets (ascending station order inside
+// each part, every part non-empty). Connected components of the
+// backhaul graph are kept whole whenever there are at least n of them:
+// components are visited in ascending min-station order and each goes
+// to the currently least-loaded shard by total capacity (ties to the
+// lowest shard index), so the layout is deterministic and roughly
+// capacity-balanced. With fewer components than shards, stations split
+// into contiguous index chunks instead — correctness never depends on
+// the partition (the router re-homes spanning requests), only parity
+// quality does.
+func Partition(net *mec.Network, n int) ([][]int, error) {
+	if net == nil {
+		return nil, fmt.Errorf("cluster: nil network")
+	}
+	nS := net.NumStations()
+	if n < 1 {
+		n = 1
+	}
+	if n > nS {
+		n = nS
+	}
+	comps := components(net)
+	if len(comps) < n {
+		// Contiguous index chunks of near-equal size.
+		parts := make([][]int, n)
+		for k := 0; k < n; k++ {
+			lo, hi := k*nS/n, (k+1)*nS/n
+			for i := lo; i < hi; i++ {
+				parts[k] = append(parts[k], i)
+			}
+		}
+		return parts, nil
+	}
+	parts := make([][]int, n)
+	load := make([]float64, n)
+	for _, comp := range comps {
+		best := 0
+		for k := 1; k < n; k++ {
+			if load[k] < load[best] {
+				best = k
+			}
+		}
+		parts[best] = append(parts[best], comp...)
+		for _, i := range comp {
+			load[best] += net.Capacity(i)
+		}
+	}
+	for k := range parts {
+		sort.Ints(parts[k])
+	}
+	return parts, nil
+}
+
+// components returns the connected components of the backhaul graph,
+// each in ascending station order, ordered by their minimum station.
+func components(net *mec.Network) [][]int {
+	nS := net.NumStations()
+	parent := make([]int, nS)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	for _, e := range net.Edges() {
+		ru, rv := find(e.U), find(e.V)
+		if ru != rv {
+			if ru > rv {
+				ru, rv = rv, ru
+			}
+			parent[rv] = ru
+		}
+	}
+	byRoot := map[int][]int{}
+	for i := 0; i < nS; i++ {
+		r := find(i)
+		byRoot[r] = append(byRoot[r], i)
+	}
+	roots := make([]int, 0, len(byRoot))
+	for r := range byRoot {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	out := make([][]int, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, byRoot[r])
+	}
+	return out
+}
+
+// subNetwork builds the induced sub-network over one partition's
+// stations: the stations keep their capacities and speed factors, every
+// backhaul edge with both endpoints inside the partition carries over,
+// and indices re-map to dense local ids. Each station's capacity is
+// owned by exactly one shard's engine — the cluster never double-counts
+// a MHz.
+func subNetwork(net *mec.Network, stations []int) (*mec.Network, error) {
+	if len(stations) == 0 {
+		return nil, fmt.Errorf("cluster: empty partition")
+	}
+	localOf := make(map[int]int, len(stations))
+	subStations := make([]mec.BaseStation, len(stations))
+	positions := net.NodePositions()
+	nodes := make([]topology.Node, len(stations))
+	for l, g := range stations {
+		localOf[g] = l
+		st, err := net.Station(g)
+		if err != nil {
+			return nil, err
+		}
+		st.ID = l
+		subStations[l] = st
+		if g < len(positions) {
+			nodes[l] = positions[g]
+		}
+	}
+	sg := graph.New(len(stations))
+	for _, e := range net.Edges() {
+		lu, okU := localOf[e.U]
+		lv, okV := localOf[e.V]
+		if okU && okV {
+			if _, err := sg.AddEdge(lu, lv, e.Weight); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return mec.NewNetwork(mec.NetworkConfig{
+		Stations: subStations,
+		Topo:     &topology.Topology{Graph: sg, Nodes: nodes},
+		SlotMHz:  net.SlotMHz(),
+		CUnit:    net.CUnit(),
+	})
+}

@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"mecoffload/internal/core"
+	"mecoffload/internal/mec"
+	"mecoffload/internal/serve"
+)
+
+// location is one routed request's current position in the cluster.
+type location struct {
+	shard int
+	ext   uint64
+	// cands are the request's global candidate stations, kept only when
+	// they span more than one shard — the migration sweep's worklist.
+	cands []int
+}
+
+// router owns the global id space and the request→shard map. Routing is
+// pure (partition + candidate rule); the table exists so status lookups
+// and migrations can find a request after the fact.
+type router struct {
+	net    *mec.Network
+	owner  []int // global station -> shard
+	slotMS float64
+
+	mu         sync.RWMutex
+	nextGlobal uint64
+	table      map[uint64]*location
+	ext2global []map[uint64]uint64 // per shard: shard ext -> global id
+	order      []uint64            // bind order, for bounded eviction
+	maxRouted  int
+
+	// Routing counters (mu-guarded; read via RouterStats).
+	fastPath    uint64
+	spanning    uint64
+	noCandidate uint64
+}
+
+func newRouter(net *mec.Network, owner []int, slotMS float64, shards, maxRouted int) *router {
+	if maxRouted <= 0 {
+		maxRouted = 1 << 20
+	}
+	rt := &router{
+		net:        net,
+		owner:      owner,
+		slotMS:     slotMS,
+		table:      make(map[uint64]*location),
+		ext2global: make([]map[uint64]uint64, shards),
+		maxRouted:  maxRouted,
+	}
+	for k := range rt.ext2global {
+		rt.ext2global[k] = make(map[uint64]uint64)
+	}
+	return rt
+}
+
+// route decides the owning shard for a spec: the shard owning every
+// candidate station (fast path), the shard owning the smallest
+// candidate station when candidates span partitions (the deterministic
+// home-shard rule), or the access station's owner when partitioning
+// leaves no candidate at all (the request will expire there, exactly as
+// it would in a single engine). The returned candidate list is in
+// global station ids, nil unless it spans shards.
+func (rt *router) route(spec serve.RequestSpec) (shard int, spanCands []int, err error) {
+	net := rt.net
+	if spec.AccessStation < 0 || spec.AccessStation >= net.NumStations() {
+		return 0, nil, fmt.Errorf("%w: access station %d out of [0, %d)",
+			serve.ErrBadSpec, spec.AccessStation, net.NumStations())
+	}
+	r, err := serve.MaterializeSpec(net, spec)
+	if err != nil {
+		return 0, nil, err
+	}
+	cands := core.CandidateStations(net, r, 0, rt.slotMS)
+	if len(cands) == 0 {
+		rt.mu.Lock()
+		rt.noCandidate++
+		rt.mu.Unlock()
+		return rt.owner[spec.AccessStation], nil, nil
+	}
+	home := rt.owner[cands[0]]
+	multi := false
+	for _, i := range cands[1:] {
+		if rt.owner[i] != home {
+			multi = true
+			break
+		}
+	}
+	rt.mu.Lock()
+	if multi {
+		rt.spanning++
+	} else {
+		rt.fastPath++
+	}
+	rt.mu.Unlock()
+	if !multi {
+		return home, nil, nil
+	}
+	return home, cands, nil
+}
+
+// bind allocates the next global id for a freshly accepted request and
+// records its location. Global ids are dense submission ordinals, which
+// makes cluster decision dumps directly comparable across shard counts.
+func (rt *router) bind(shard int, ext uint64, spanCands []int) uint64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	g := rt.nextGlobal
+	rt.nextGlobal++
+	rt.insertLocked(g, shard, ext, spanCands)
+	return g
+}
+
+// bindAt re-registers a known global id during a manifest restore.
+func (rt *router) bindAt(g uint64, shard int, ext uint64, spanCands []int) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if g >= rt.nextGlobal {
+		rt.nextGlobal = g + 1
+	}
+	rt.insertLocked(g, shard, ext, spanCands)
+}
+
+func (rt *router) insertLocked(g uint64, shard int, ext uint64, spanCands []int) {
+	rt.table[g] = &location{shard: shard, ext: ext, cands: spanCands}
+	rt.ext2global[shard][ext] = g
+	rt.order = append(rt.order, g)
+	for len(rt.table) > rt.maxRouted && len(rt.order) > 0 {
+		old := rt.order[0]
+		rt.order = rt.order[1:]
+		if loc, ok := rt.table[old]; ok {
+			delete(rt.ext2global[loc.shard], loc.ext)
+			delete(rt.table, old)
+		}
+	}
+}
+
+// rebind moves a migrated request to its new shard and local id.
+func (rt *router) rebind(g uint64, shard int, ext uint64, keepSpanning bool) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	loc, ok := rt.table[g]
+	if !ok {
+		return false
+	}
+	delete(rt.ext2global[loc.shard], loc.ext)
+	loc.shard, loc.ext = shard, ext
+	if !keepSpanning {
+		loc.cands = nil
+	}
+	rt.ext2global[shard][ext] = g
+	return true
+}
+
+// lookup resolves a global id to its current shard and local id.
+func (rt *router) lookup(g uint64) (shard int, ext uint64, ok bool) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	loc, ok := rt.table[g]
+	if !ok {
+		return 0, 0, false
+	}
+	return loc.shard, loc.ext, true
+}
+
+// globalOf resolves a shard-local id back to its global id.
+func (rt *router) globalOf(shard int, ext uint64) (uint64, bool) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	g, ok := rt.ext2global[shard][ext]
+	return g, ok
+}
+
+// spanCandidate is one migration-sweep worklist entry.
+type spanCandidate struct {
+	global uint64
+	shard  int
+	ext    uint64
+	cands  []int
+}
+
+// spanningRequests snapshots every routed request whose candidate set
+// spans shards, in ascending global-id order.
+func (rt *router) spanningRequests() []spanCandidate {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	var out []spanCandidate
+	for g, loc := range rt.table {
+		if len(loc.cands) > 0 {
+			out = append(out, spanCandidate{global: g, shard: loc.shard, ext: loc.ext, cands: loc.cands})
+		}
+	}
+	sortSpan(out)
+	return out
+}
+
+func sortSpan(s []spanCandidate) {
+	for j := 1; j < len(s); j++ {
+		for k := j; k > 0 && s[k].global < s[k-1].global; k-- {
+			s[k], s[k-1] = s[k-1], s[k]
+		}
+	}
+}
+
+// RouterStats is the routing counter snapshot exposed on /metrics.
+type RouterStats struct {
+	FastPath    uint64
+	Spanning    uint64
+	NoCandidate uint64
+	Routed      uint64
+}
+
+func (rt *router) stats() RouterStats {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return RouterStats{
+		FastPath:    rt.fastPath,
+		Spanning:    rt.spanning,
+		NoCandidate: rt.noCandidate,
+		Routed:      rt.nextGlobal,
+	}
+}

@@ -1,0 +1,29 @@
+package core
+
+import "mecoffload/internal/mec"
+
+// CandidateStations returns the stations on which the per-slot LP would
+// create at least one placement variable for r at the given wait: the
+// station must fit a full service slot, the end-to-end delay must stay
+// within r's deadline, and at least one demand outcome must fit in the
+// station's spare slot capacity. This is exactly the feasibility rule
+// the LP decomposition uses (hasCandidate), evaluated against unloaded
+// stations, so the cluster router partitions requests along the same
+// request↔station candidate graph the solver decomposes. Results are in
+// ascending station order.
+func CandidateStations(n *mec.Network, r *mec.Request, wait int, slotLenMS float64) []int {
+	if n == nil || r == nil {
+		return nil
+	}
+	if slotLenMS <= 0 {
+		slotLenMS = mec.DefaultSlotLengthMS
+	}
+	slotMHz := n.SlotMHz()
+	var out []int
+	for i := 0; i < n.NumStations(); i++ {
+		if hasCandidate(n, r, i, wait, n.Capacity(i), slotMHz, slotLenMS) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -15,6 +15,11 @@ import (
 // restore a checkpoint written by an incompatible build.
 const checkpointVersion = 1
 
+// CheckpointVersion is the current on-disk checkpoint layout version,
+// exported so the cluster manifest can stamp the per-shard checkpoints
+// it composes during a resharded restore.
+const CheckpointVersion = checkpointVersion
+
 // ErrNoCheckpoint reports that the checkpoint file does not exist.
 var ErrNoCheckpoint = errors.New("serve: no checkpoint")
 

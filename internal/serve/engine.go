@@ -25,6 +25,7 @@ import (
 	"mecoffload/internal/dist"
 	"mecoffload/internal/mec"
 	"mecoffload/internal/oracle"
+	"mecoffload/internal/rnd"
 	"mecoffload/internal/sim"
 	"mecoffload/internal/workload"
 )
@@ -34,6 +35,10 @@ var (
 	ErrStopped  = errors.New("serve: engine stopped")
 	ErrDraining = errors.New("serve: engine draining, not accepting requests")
 	ErrBadSpec  = errors.New("serve: invalid request spec")
+	// ErrNotPending reports that Extract found no undecided request with
+	// the given id: it already scheduled, departed, expired, shed, or
+	// never existed. Migration treats it as a benign abort.
+	ErrNotPending = errors.New("serve: request is not pending")
 )
 
 // TaskSpec is one pipeline stage of a submitted request.
@@ -92,6 +97,23 @@ type Config struct {
 	// CheckpointEvery ticks (default 50) and at shutdown.
 	CheckpointPath  string
 	CheckpointEvery int
+	// Restore, when non-nil, seeds the engine from an in-memory
+	// checkpoint instead of loading CheckpointPath. The cluster layer
+	// uses it to hand each shard its slice of a composed cluster
+	// manifest; CheckpointPath may still be set for subsequent periodic
+	// rewrites.
+	Restore *Checkpoint
+	// DeferFeedback suppresses the planner's in-slot bandit feedback;
+	// the caller delivers slot rewards explicitly via DeliverFeedback.
+	// The cluster defers feedback so every shard's threshold learner is
+	// updated with the globally aggregated slot reward, keeping learners
+	// in lockstep across shard counts.
+	DeferFeedback bool
+	// RetrySeed seeds the engine-scoped Retry-After jitter stream
+	// (internal/rnd label "retry-after"), making overload responses
+	// reproducible in tests and replay. The zero seed is a valid,
+	// deterministic stream of its own.
+	RetrySeed int64
 	// TraceWriter, when non-nil, receives one line per slot in arsim's
 	// trace format, so offline and online runs are diffable.
 	TraceWriter io.Writer
@@ -133,6 +155,13 @@ type Config struct {
 	// It must not call back into the engine. Replay harnesses use it to
 	// capture per-slot admission decisions for parity checks.
 	SlotObserver func(sim.SlotReport)
+	// DecisionObserver, when set, receives each slot's admitted external
+	// ids (in admission order) and the slot's realized reward, called on
+	// the loop goroutine after settlement. It must not call back into
+	// the engine. The cluster uses it to aggregate shard rewards into
+	// the global feedback signal and to build parity dumps in external
+	// id space.
+	DecisionObserver func(slot int, admitted []uint64, reward float64)
 }
 
 // liveEntry tracks one live (pending or running) request inside the loop.
@@ -151,8 +180,17 @@ type Engine struct {
 	sched   sim.Scheduler
 	shards  []*shard
 
-	intake  chan intakeMsg
-	control chan controlMsg
+	intake   chan intakeMsg
+	control  chan controlMsg
+	snapC    chan snapMsg
+	extractC chan extractMsg
+
+	// retryRng is the engine-scoped Retry-After jitter stream, seeded
+	// from Config.RetrySeed via internal/rnd so overload behaviour
+	// replays deterministically. Guarded by retryMu: HTTP handlers hit
+	// it concurrently.
+	retryMu  sync.Mutex
+	retryRng *rand.Rand
 
 	loopDone   chan struct{}
 	shardStop  sync.Once
@@ -203,11 +241,36 @@ const (
 	ctlDrain
 	ctlStop
 	ctlFlushRing
+	ctlFeedback
 )
 
 type controlMsg struct {
 	kind  controlKind
 	reply chan error
+	// ctlFeedback payload (see DeliverFeedback).
+	slot   int
+	reward float64
+}
+
+// snapMsg asks the loop for an in-memory checkpoint of the live state.
+type snapMsg struct{ reply chan snapReply }
+
+type snapReply struct {
+	ck  *Checkpoint
+	err error
+}
+
+// extractMsg asks the loop to remove one pending request for cross-shard
+// migration.
+type extractMsg struct {
+	ext   uint64
+	reply chan extractReply
+}
+
+type extractReply struct {
+	spec    RequestSpec
+	arrival int
+	err     error
 }
 
 // New builds an engine, restoring checkpointed state when
@@ -264,6 +327,8 @@ func New(cfg Config) (*Engine, error) {
 		metrics:    NewMetrics(),
 		intake:     make(chan intakeMsg, 1024),
 		control:    make(chan controlMsg),
+		snapC:      make(chan snapMsg),
+		extractC:   make(chan extractMsg),
 		loopDone:   make(chan struct{}),
 		shardsDone: make(chan struct{}),
 		ring:       newIngestRing(cfg.RingCapacity),
@@ -272,10 +337,11 @@ func New(cfg Config) (*Engine, error) {
 		spaceC:     make(chan struct{}, 1),
 		pumpDone:   make(chan struct{}),
 		live:       map[int]*liveEntry{},
+		retryRng:   rnd.New(cfg.RetrySeed, "retry-after"),
 	}
 
-	var ck *Checkpoint
-	if cfg.CheckpointPath != "" {
+	ck := cfg.Restore
+	if ck == nil && cfg.CheckpointPath != "" {
 		loaded, err := LoadCheckpoint(cfg.CheckpointPath)
 		if err != nil && !errors.Is(err, ErrNoCheckpoint) {
 			return nil, err
@@ -308,6 +374,7 @@ func New(cfg Config) (*Engine, error) {
 		if err := e.install(ck); err != nil {
 			return nil, fmt.Errorf("serve: restoring checkpoint: %w", err)
 		}
+		e.seedRegistry(ck)
 	} else if err := e.installEmpty(); err != nil {
 		return nil, err
 	}
@@ -360,6 +427,7 @@ func (e *Engine) installEmpty() error {
 		return err
 	}
 	planner.SetStepChecker(e.cfg.StepChecker)
+	planner.SetFeedbackDeferred(e.cfg.DeferFeedback)
 	e.planner = planner
 	e.res = &core.Result{Algorithm: e.sched.Name()}
 	e.pending = nil
@@ -426,6 +494,36 @@ func (e *Engine) install(ck *Checkpoint) error {
 	return nil
 }
 
+// seedRegistry repopulates the observability registries from a restored
+// checkpoint, so GET /v1/requests/{id} keeps answering for every live
+// request across a restart. Called only from New, before the shard
+// goroutines start, so mutating shard state directly is race-free and
+// cannot deadlock on a full command channel.
+func (e *Engine) seedRegistry(ck *Checkpoint) {
+	procOf := make(map[uint64]int, len(ck.Running))
+	for _, s := range ck.Running {
+		procOf[uint64(s.Request)] = s.ProcStation
+	}
+	reqs := append([]CheckpointRequest(nil), ck.Requests...)
+	sort.Slice(reqs, func(a, b int) bool {
+		if reqs[a].ArrivalSlot != reqs[b].ArrivalSlot {
+			return reqs[a].ArrivalSlot < reqs[b].ArrivalSlot
+		}
+		return reqs[a].ExternalID < reqs[b].ExternalID
+	})
+	for _, cr := range reqs {
+		sh := e.shards[int(cr.ExternalID)%len(e.shards)]
+		sh.apply(requestEvent{id: cr.ExternalID, kind: evSubmitted, slot: cr.ArrivalSlot})
+		if cr.Running {
+			st, ok := procOf[cr.ExternalID]
+			if !ok {
+				st = -1
+			}
+			sh.apply(requestEvent{id: cr.ExternalID, kind: evServing, slot: ck.Slot, station: st})
+		}
+	}
+}
+
 // buildRequest materializes a spec into a planner request, applying the
 // paper-default pipeline, deadline, hold, and demand distribution.
 func (e *Engine) buildRequest(id, arrival int, spec RequestSpec) (*mec.Request, error) {
@@ -436,8 +534,24 @@ func (e *Engine) buildRequest(id, arrival int, spec RequestSpec) (*mec.Request, 
 // the default-outcome unit-reward draw, so ValidateSpec can check a spec
 // without consuming the engine's stream.
 func (e *Engine) buildRequestRng(rng *rand.Rand, id, arrival int, spec RequestSpec) (*mec.Request, error) {
-	if spec.AccessStation < 0 || spec.AccessStation >= e.cfg.Net.NumStations() {
-		return nil, fmt.Errorf("%w: access station %d out of [0, %d)", ErrBadSpec, spec.AccessStation, e.cfg.Net.NumStations())
+	return materializeSpec(e.cfg.Net, rng, id, arrival, spec)
+}
+
+// MaterializeSpec builds the planner request a spec would become against
+// an arbitrary topology, without consuming any engine randomness (the
+// default-outcome unit-reward draw uses a fixed throwaway source). The
+// cluster router uses it to compute a request's candidate stations over
+// the full topology before the owning shard re-materializes the spec
+// against its own sub-network. Safe for concurrent use.
+func MaterializeSpec(net *mec.Network, spec RequestSpec) (*mec.Request, error) {
+	return materializeSpec(net, rand.New(rand.NewSource(0)), 0, 0, spec)
+}
+
+// materializeSpec applies the paper-default pipeline, deadline, hold, and
+// demand distribution to a spec and validates the result.
+func materializeSpec(net *mec.Network, rng *rand.Rand, id, arrival int, spec RequestSpec) (*mec.Request, error) {
+	if spec.AccessStation < 0 || spec.AccessStation >= net.NumStations() {
+		return nil, fmt.Errorf("%w: access station %d out of [0, %d)", ErrBadSpec, spec.AccessStation, net.NumStations())
 	}
 	deadline := spec.DeadlineMS
 	if deadline == 0 {
@@ -626,6 +740,67 @@ func (e *Engine) Tick() error { return e.controlCall(ctlTick) }
 // CheckpointNow writes a checkpoint immediately.
 func (e *Engine) CheckpointNow() error { return e.controlCall(ctlCheckpoint) }
 
+// Snapshot captures the engine's live state as an in-memory checkpoint
+// without touching disk. It reflects only requests the planner has seen:
+// callers who need batched-ingest residue included (the cluster
+// checkpoint path) must Flush first.
+func (e *Engine) Snapshot() (*Checkpoint, error) {
+	msg := snapMsg{reply: make(chan snapReply, 1)}
+	select {
+	case e.snapC <- msg:
+	case <-e.loopDone:
+		return nil, ErrStopped
+	}
+	select {
+	case rep := <-msg.reply:
+		return rep.ck, rep.err
+	case <-e.loopDone:
+		return nil, ErrStopped
+	}
+}
+
+// Extract removes a pending (undecided) request from the engine and
+// returns its spec and arrival slot — the prepare half of the cluster's
+// two-phase migration handoff. It fails with ErrNotPending when the
+// request already scheduled, terminated, or is unknown, which makes a
+// stale migration proposal a benign abort rather than a double-admit.
+func (e *Engine) Extract(ext uint64) (RequestSpec, int, error) {
+	msg := extractMsg{ext: ext, reply: make(chan extractReply, 1)}
+	select {
+	case e.extractC <- msg:
+	case <-e.loopDone:
+		return RequestSpec{}, 0, ErrStopped
+	}
+	select {
+	case rep := <-msg.reply:
+		return rep.spec, rep.arrival, rep.err
+	case <-e.loopDone:
+		return RequestSpec{}, 0, ErrStopped
+	}
+}
+
+// DeliverFeedback hands the scheduler a slot's (externally aggregated)
+// realized reward on the loop goroutine. Only meaningful with
+// Config.DeferFeedback set; a no-op for schedulers without learning
+// feedback.
+func (e *Engine) DeliverFeedback(slot int, reward float64) error {
+	reply := ctlReplyPool.Get().(chan error)
+	msg := controlMsg{kind: ctlFeedback, slot: slot, reward: reward, reply: reply}
+	select {
+	case e.control <- msg:
+	case <-e.loopDone:
+		ctlReplyPool.Put(reply)
+		return ErrStopped
+	}
+	select {
+	case err := <-msg.reply:
+		ctlReplyPool.Put(reply)
+		return err
+	case <-e.loopDone:
+		return ErrStopped
+	}
+}
+
 // Drain stops intake (Submit fails with ErrDraining) and lets the engine
 // run until every pending request is decided and every stream departs,
 // at which point the loop checkpoints and exits.
@@ -739,6 +914,11 @@ func (e *Engine) loop() {
 			if e.drainComplete() {
 				return
 			}
+		case msg := <-e.snapC:
+			ck, err := e.snapshotState()
+			msg.reply <- snapReply{ck: ck, err: err}
+		case msg := <-e.extractC:
+			msg.reply <- e.handleExtract(msg.ext)
 		case msg := <-e.control:
 			switch msg.kind {
 			case ctlTick:
@@ -752,7 +932,17 @@ func (e *Engine) loop() {
 			case ctlFlushRing:
 				e.drainRing(true)
 				msg.reply <- nil
+			case ctlFeedback:
+				if fb, ok := e.sched.(sim.FeedbackScheduler); ok {
+					fb.Feedback(msg.slot, msg.reward)
+				}
+				msg.reply <- nil
 			case ctlDrain:
+				// Quiesce the ingest path before raising the drain flag:
+				// requests already accepted into the stage or ring become
+				// pending (and thus drain to a decision) instead of being
+				// rejected behind the submitter's back.
+				e.quiesceIngest()
 				e.drain = true
 				e.metrics.drainFlag.Store(true)
 				msg.reply <- nil
@@ -760,6 +950,10 @@ func (e *Engine) loop() {
 					return
 				}
 			case ctlStop:
+				// Same quiesce before the final checkpoint: accepted
+				// requests still staged in the ingest path persist as
+				// pending instead of being dropped on SIGTERM.
+				e.quiesceIngest()
 				if err := e.checkpoint(); err != nil {
 					e.cfg.Logf("arserved: final checkpoint failed: %v", err)
 				}
@@ -768,6 +962,73 @@ func (e *Engine) loop() {
 			}
 		}
 	}
+}
+
+// quiesceIngest closes the batched-ingest path and hands its residue to
+// the planner (loop goroutine only): the pump stops accepting batches
+// and surrenders its overflow stage, the loop force-drains the ring, and
+// every surrendered entry is appended as pending in submission order. A
+// final checkpoint (or a drain) then sees every accepted request instead
+// of dropping the stage and ring residue on the floor. Idempotent: a
+// second call finds an already-stopped pump with an empty stage.
+func (e *Engine) quiesceIngest() {
+	e.metrics.drainFlag.Store(true)
+	var staged []ingestEntry
+	msg := batchMsg{collect: true, reply: batchReplyChan()}
+	select {
+	case e.batchC <- msg:
+		select {
+		case rep := <-msg.reply:
+			staged = rep.staged
+			putBatchReplyChan(msg.reply)
+		case <-e.pumpDone:
+		}
+	case <-e.pumpDone:
+	}
+	// The residue must land even if a drain flag is already up: these
+	// requests were accepted before intake closed.
+	wasDrain := e.drain
+	e.drain = false
+	e.drainRing(true)
+	sort.Slice(staged, func(a, b int) bool { return staged[a].seq < staged[b].seq })
+	for _, ent := range staged {
+		e.ingestOne(ent)
+	}
+	e.drain = wasDrain
+	e.stagedDepth.Store(0)
+	e.metrics.IntakeDepth.Store(int64(e.ring.Len()))
+	e.metrics.PendingDepth.Store(int64(len(e.pending)))
+}
+
+// handleExtract removes one pending request from the planner for
+// cross-shard migration (loop goroutine only). Only undecided requests
+// are extractable: once a request scheduled, its service instance is
+// pinned to this engine's stations. The registry records the request as
+// migrated (a terminal state here; the target shard owns it from now
+// on).
+func (e *Engine) handleExtract(ext uint64) extractReply {
+	internal := -1
+	for j, le := range e.live {
+		if le.ext == ext && !le.running {
+			internal = j
+			break
+		}
+	}
+	if internal < 0 {
+		return extractReply{err: ErrNotPending}
+	}
+	for k, j := range e.pending {
+		if j == internal {
+			e.pending = append(e.pending[:k], e.pending[k+1:]...)
+			break
+		}
+	}
+	le := e.live[internal]
+	delete(e.live, internal)
+	e.settled++
+	e.metrics.PendingDepth.Store(int64(len(e.pending)))
+	e.shardEvent(requestEvent{id: ext, kind: evMigrated, slot: e.slot})
+	return extractReply{spec: le.spec, arrival: le.arrival}
 }
 
 // drainComplete checkpoints and reports true once a draining engine has
@@ -836,6 +1097,18 @@ func (e *Engine) runSlot() {
 	}
 	if e.cfg.SlotObserver != nil {
 		e.cfg.SlotObserver(rep)
+	}
+	if e.cfg.DecisionObserver != nil {
+		var admittedExt []uint64
+		if len(rep.Admitted) > 0 {
+			admittedExt = make([]uint64, 0, len(rep.Admitted))
+			for _, j := range rep.Admitted {
+				if le, ok := e.live[j]; ok {
+					admittedExt = append(admittedExt, le.ext)
+				}
+			}
+		}
+		e.cfg.DecisionObserver(t, admittedExt, rep.Reward)
 	}
 
 	// Fold the slot report into metrics and shard events. The per-shard

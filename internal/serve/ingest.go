@@ -51,12 +51,20 @@ type BatchResult struct {
 type batchMsg struct {
 	specs   []RequestSpec
 	barrier bool
+	// collect asks the pump to stop accepting batches and surrender its
+	// overflow stage — the shutdown quiesce (see Engine.quiesceIngest).
+	collect bool
 	reply   chan batchReply
 }
 
 type batchReply struct {
 	ids  []uint64
 	shed int
+	// staged is the surrendered overflow stage (collect replies only).
+	staged []ingestEntry
+	// rejected marks a batch that arrived after the pump stopped; the
+	// caller maps it to ErrDraining/ErrStopped.
+	rejected bool
 }
 
 // SubmitBatch queues a pre-validated batch of specs for ingest. It
@@ -84,6 +92,13 @@ func (e *Engine) SubmitBatch(specs []RequestSpec) (BatchResult, error) {
 	select {
 	case rep := <-msg.reply:
 		putBatchReplyChan(msg.reply)
+		if rep.rejected {
+			// The pump stopped between our Draining check and the send.
+			if !e.Alive() {
+				return BatchResult{}, ErrStopped
+			}
+			return BatchResult{}, ErrDraining
+		}
 		e.metrics.Batches.Inc()
 		e.metrics.BatchRequests.Add(uint64(len(specs)))
 		return BatchResult{IDs: rep.ids, Shed: rep.shed}, nil
@@ -142,21 +157,37 @@ func batchReplyChan() chan batchReply     { return batchReplyPool.Get().(chan ba
 func putBatchReplyChan(c chan batchReply) { batchReplyPool.Put(c) }
 
 // pump is the intake pump goroutine: the single producer of the ingest
-// ring. It exits when the engine loop does.
+// ring. It exits when the engine loop does. After a collect message
+// (shutdown quiesce) it keeps answering barriers but rejects new batches
+// and stops touching the stage/ring — the loop owns the residue from
+// that point on.
 func (e *Engine) pump() {
 	defer close(e.pumpDone)
+	stopped := false
 	for {
 		select {
 		case msg := <-e.batchC:
-			if msg.barrier {
+			switch {
+			case msg.barrier:
 				msg.reply <- batchReply{}
-				continue
+			case msg.collect:
+				staged := make([]ingestEntry, 0, e.stage.len())
+				for e.stage.len() > 0 {
+					staged = append(staged, e.stage.popLowest())
+				}
+				stopped = true
+				msg.reply <- batchReply{staged: staged}
+			case stopped:
+				msg.reply <- batchReply{rejected: true}
+			default:
+				msg.reply <- e.pumpBatch(msg.specs)
 			}
-			msg.reply <- e.pumpBatch(msg.specs)
 		case <-e.spaceC:
 			// The loop freed ring space: move staged work in, most
 			// valuable first.
-			e.pumpDrainStage()
+			if !stopped {
+				e.pumpDrainStage()
+			}
 		case <-e.loopDone:
 			return
 		}

@@ -67,6 +67,35 @@ func (h *histogram) Observe(x float64) {
 	h.total.Inc()
 }
 
+// HistogramSnapshot is a point-in-time copy of one histogram, letting
+// external expositions (the cluster's per-shard /metrics) render the
+// engine's histograms under their own label sets.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.sum.Load(),
+		Count:  h.total.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// SlotDurationSnapshot copies the slot-duration histogram.
+func (m *Metrics) SlotDurationSnapshot() HistogramSnapshot { return m.SlotDuration.snapshot() }
+
+// IntakeLatencySnapshot copies the intake-latency histogram.
+func (m *Metrics) IntakeLatencySnapshot() HistogramSnapshot { return m.IntakeLatency.snapshot() }
+
 // Metrics is the daemon's metric surface. All fields are safe for
 // concurrent read while the engine loop writes.
 type Metrics struct {

@@ -3,10 +3,8 @@ package serve
 import (
 	"encoding/json"
 	"errors"
-	"math/rand"
 	"net/http"
 	"strconv"
-	"sync"
 	"time"
 )
 
@@ -42,11 +40,14 @@ const maxBatchBody = 32 << 20
 
 // retryAfterHint picks the jittered backoff hint for a 503: between one
 // and two base intervals, uniformly, so a synchronized burst of shed
-// clients does not return as a synchronized burst of retries.
-func retryAfterHint(base time.Duration) (header string, ms int) {
-	retryJitterMu.Lock()
-	f := 1 + retryJitter.Float64()
-	retryJitterMu.Unlock()
+// clients does not return as a synchronized burst of retries. The
+// jitter draws from the engine's labeled "retry-after" stream
+// (Config.RetrySeed), so overload behaviour is reproducible in tests
+// and replay.
+func (e *Engine) retryAfterHint(base time.Duration) (header string, ms int) {
+	e.retryMu.Lock()
+	f := 1 + e.retryRng.Float64()
+	e.retryMu.Unlock()
 	d := time.Duration(f * float64(base))
 	secs := int((d + time.Second - 1) / time.Second)
 	if secs < 1 {
@@ -55,17 +56,12 @@ func retryAfterHint(base time.Duration) (header string, ms int) {
 	return strconv.Itoa(secs), int(d / time.Millisecond)
 }
 
-// retryJitter only shapes client backoff hints; it deliberately does
-// not draw from the engine's deterministic seed streams.
-var (
-	retryJitterMu sync.Mutex
-	retryJitter   = rand.New(rand.NewSource(time.Now().UnixNano()))
-)
-
-// writeUnavailable emits the 503 overload contract: Retry-After header
-// plus the structured JSON body with the millisecond hint.
-func writeUnavailable(w http.ResponseWriter, err error) {
-	header, ms := retryAfterHint(500 * time.Millisecond)
+// WriteUnavailable emits the 503 overload contract: Retry-After header
+// plus the structured JSON body with the millisecond hint, jittered
+// from the engine's seeded stream. Exported so the cluster handler
+// shares one overload contract with the single-engine API.
+func (e *Engine) WriteUnavailable(w http.ResponseWriter, err error) {
+	header, ms := e.retryAfterHint(500 * time.Millisecond)
 	w.Header().Set("Retry-After", header)
 	writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error(), RetryAfterMS: ms})
 }
@@ -99,7 +95,7 @@ func Handler(e *Engine) http.Handler {
 		case err == nil:
 			writeJSON(w, http.StatusAccepted, submitResponse{ID: id, Slot: slot, State: StatePending})
 		case errors.Is(err, ErrDraining), errors.Is(err, ErrStopped):
-			writeUnavailable(w, err)
+			e.WriteUnavailable(w, err)
 		case errors.Is(err, ErrBadSpec):
 			writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
 		default:
@@ -143,7 +139,7 @@ func Handler(e *Engine) http.Handler {
 				Errors:   lineErrs,
 			})
 		case errors.Is(err, ErrSaturated), errors.Is(err, ErrDraining), errors.Is(err, ErrStopped):
-			writeUnavailable(w, err)
+			e.WriteUnavailable(w, err)
 		default:
 			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		}
@@ -157,7 +153,7 @@ func Handler(e *Engine) http.Handler {
 		}
 		rec, ok, err := e.Status(id)
 		if err != nil {
-			writeUnavailable(w, err)
+			e.WriteUnavailable(w, err)
 			return
 		}
 		if !ok {

@@ -31,6 +31,10 @@ const (
 	// the reward-aware overload policy (or refused at ingest) before
 	// ever reaching the scheduler (terminal).
 	StateShed = "shed"
+	// StateMigrated: handed off to another cluster shard while pending
+	// (terminal for this engine; the cluster router forwards status
+	// lookups to the new owner).
+	StateMigrated = "migrated"
 )
 
 // RequestRecord is one request's externally visible status.
@@ -48,7 +52,7 @@ type RequestRecord struct {
 // terminal reports whether the record can be evicted from the registry.
 func (r *RequestRecord) terminal() bool {
 	switch r.State {
-	case StateCompleted, StateEvicted, StateExpired, StateShed:
+	case StateCompleted, StateEvicted, StateExpired, StateShed, StateMigrated:
 		return true
 	}
 	return false
@@ -63,6 +67,7 @@ const (
 	evExpired
 	evCompleted
 	evShed
+	evMigrated
 )
 
 // requestEvent is one request-state transition published by the engine
@@ -207,6 +212,14 @@ func (s *shard) apply(ev requestEvent) {
 		// that raced ahead wins.
 		if rec, ok := s.records[ev.id]; ok && rec.State == StatePending {
 			rec.State = StateShed
+			rec.DecisionSlot = ev.slot
+		}
+	case evMigrated:
+		// Like a shed, migration only moves a still-pending record; the
+		// extract protocol guarantees the loop never migrates a decided
+		// request.
+		if rec, ok := s.records[ev.id]; ok && rec.State == StatePending {
+			rec.State = StateMigrated
 			rec.DecisionSlot = ev.slot
 		}
 	}

@@ -87,6 +87,9 @@ type Engine struct {
 	// check, when set, is invoked at the end of every Step (see
 	// SetStepChecker).
 	check StepChecker
+	// deferFB suppresses Step's in-slot scheduler feedback (see
+	// SetFeedbackDeferred).
+	deferFB bool
 }
 
 // StepInfo carries the per-slot context a StepChecker needs beyond the
@@ -113,6 +116,14 @@ type StepChecker func(e *Engine, res *core.Result, rep SlotReport, info StepInfo
 // hook. The checker observes every subsequent Step, including slots where
 // the scheduler was skipped for lack of pending requests.
 func (e *Engine) SetStepChecker(c StepChecker) { e.check = c }
+
+// SetFeedbackDeferred controls whether Step delivers the slot's realized
+// reward to a FeedbackScheduler itself (the default) or leaves feedback
+// to the caller. The sharded cluster defers it so every shard's
+// threshold learner can be updated with the globally aggregated slot
+// reward — the signal the single-engine bandit sees — keeping the
+// learners in lockstep across shard counts.
+func (e *Engine) SetFeedbackDeferred(v bool) { e.deferFB = v }
 
 // Config parameterizes NewEngine.
 type Config struct {
@@ -358,7 +369,7 @@ func (e *Engine) Step(sched Scheduler, res *core.Result, t int, pending []int) (
 		return pending, rep, err
 	}
 	rep.Reward = e.settle(res, t, admitted, sched.UncertaintyAware())
-	if fb, ok := sched.(FeedbackScheduler); ok {
+	if fb, ok := sched.(FeedbackScheduler); ok && !e.deferFB {
 		fb.Feedback(t, rep.Reward)
 	}
 	for _, j := range admitted {
