@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build test race oracle cluster-parity bench bench-check bench-smoke load-smoke fuzz lint fmt vet clean
+.PHONY: verify build test race oracle cluster-parity incremental-parity bench bench-check bench-smoke load-smoke fuzz lint fmt vet clean
 
 ## verify: tier-1 gate — build everything, vet, gofmt check, full tests.
 verify: build vet fmt-check test
@@ -26,6 +26,14 @@ race:
 ## cluster-parity job).
 cluster-parity:
 	$(GO) test -race -count=1 -run 'TestClusterParity|TestClusterCheckpointReshard|TestMigrationRace' ./internal/cluster/
+
+## incremental-parity: the per-slot decision-cost correctness gate — the
+## oracle differentials proving the dirty-component incremental cache and
+## the LP-free local-ratio fast path emit decision streams identical to
+## the full stable re-solve, plus the dirty-set edge-case suite, all
+## under the race detector (same as the CI incremental-parity job).
+incremental-parity:
+	$(GO) test -race -count=1 -run 'TestDiffIncrementalFull|TestDiffLocalRatioLP|TestIncCache' ./internal/oracle/ ./internal/core/
 
 ## oracle: differential oracle suite plus the mutation smoke check,
 ## mirroring the CI oracle job — the oraclemutant build must FAIL the
@@ -51,13 +59,18 @@ bench:
 	$(GO) run ./cmd/benchjson -in bench-raw.txt -out BENCH_PR5.json
 	$(GO) test -run '^$$' -bench 'BenchmarkClusterServeSlot' -benchtime 200x -benchmem . | tee bench-cluster-raw.txt
 	$(GO) run ./cmd/benchjson -in bench-cluster-raw.txt -out BENCH_PR7.json
+	$(GO) test -run '^$$' -bench 'BenchmarkIncrementalServeSlot|BenchmarkLocalRatio' -benchtime 1000x -benchmem . | tee bench-incremental-raw.txt
+	$(GO) run ./cmd/benchjson -in bench-incremental-raw.txt -out BENCH_PR8.json
 
 ## bench-check: re-run the gated serve-slot benchmarks at the baseline's
 ## pinned iteration count and fail on a >10% ns/op regression or any
 ## allocs/op increase versus the committed BENCH_PR5.json. ns/op is only
 ## meaningful against a baseline recorded on the same machine; allocs/op
 ## is deterministic everywhere. CI runs the same gate A/B against the
-## merge base on one runner (bench-regression job).
+## merge base on one runner (bench-regression job). The incremental
+## gate protects only the fast modes: mode=full and mode=lp are the
+## deliberately slow contrast baselines, and the full re-solve's LP
+## jitter would trip the 10% gate on noise alone.
 bench-check:
 	$(GO) test -run '^$$' -bench 'BenchmarkServeSlot' -benchtime 1000x -benchmem . \
 		| $(GO) run ./cmd/benchjson -tee -out bench-new.json
@@ -70,13 +83,18 @@ bench-check:
 		-gate '^BenchmarkServeIngest' -allocs-gate '^$$'
 	$(GO) run ./cmd/benchjson -compare -old BENCH_PR7.json -new bench-cluster-new.json \
 		-gate '^BenchmarkClusterServeSlot' -allocs-gate '^$$'
+	$(GO) test -run '^$$' -bench 'BenchmarkIncrementalServeSlot|BenchmarkLocalRatio' -benchtime 1000x -benchmem . \
+		| $(GO) run ./cmd/benchjson -tee -out bench-incremental-new.json
+	$(GO) run ./cmd/benchjson -compare -old BENCH_PR8.json -new bench-incremental-new.json \
+		-gate '^Benchmark(IncrementalServeSlot|LocalRatio)/mode=(incremental|local-ratio|fastpath)' \
+		-allocs-gate '^$$'
 
 ## bench-smoke: compile-and-run-once pass over the benchmark harness,
 ## mirroring the CI bench-smoke job. No regression gate here: at
 ## -benchtime 1x neither timings nor allocation counts are comparable
 ## to the amortized baseline (bench-check is the gate).
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkAppro|BenchmarkDynamicRRRun|BenchmarkLPColdVsWarm|BenchmarkServeSlot|BenchmarkServeIngest|BenchmarkClusterServeSlot' -benchtime 1x -benchmem . \
+	$(GO) test -run '^$$' -bench 'BenchmarkAppro|BenchmarkDynamicRRRun|BenchmarkLPColdVsWarm|BenchmarkServeSlot|BenchmarkServeIngest|BenchmarkClusterServeSlot|BenchmarkIncrementalServeSlot|BenchmarkLocalRatio' -benchtime 1x -benchmem . \
 		| $(GO) run ./cmd/benchjson -tee -out bench-smoke.json
 
 ## load-smoke: build arserved and drive the batched intake at 100k req/s
@@ -94,10 +112,11 @@ load-smoke:
 ## fuzz: seed-corpus regression then a short fuzzing budget.
 fuzz:
 	$(GO) test -run 'FuzzParse' ./internal/lp/
-	$(GO) test -run 'FuzzOracleLP' ./internal/oracle/
+	$(GO) test -run 'FuzzOracleLP|FuzzDirtySet' ./internal/oracle/
 	$(GO) test -run 'FuzzBatchDecode' ./internal/serve/
 	$(GO) test -fuzz 'FuzzParse' -fuzztime 30s ./internal/lp/
 	$(GO) test -fuzz 'FuzzOracleLP' -fuzztime 30s ./internal/oracle/
+	$(GO) test -fuzz 'FuzzDirtySet' -fuzztime 30s ./internal/oracle/
 	$(GO) test -fuzz 'FuzzBatchDecode' -fuzztime 30s ./internal/serve/
 
 ## lint: staticcheck (correctness checks only, see staticcheck.conf) and
@@ -122,4 +141,5 @@ vet:
 clean:
 	rm -f mecoffload.test bench-smoke.txt bench-smoke.json bench-new.json \
 		bench-ingest.json bench-raw.txt bench-cluster-raw.txt \
-		bench-cluster-new.json arserved-load load-smoke.json
+		bench-cluster-new.json bench-incremental-raw.txt \
+		bench-incremental-new.json arserved-load load-smoke.json

@@ -54,7 +54,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("arserved", flag.ContinueOnError)
 	var (
 		addr       = fs.String("addr", "127.0.0.1:8080", "HTTP listen address")
-		schedName  = fs.String("scheduler", "dynamicrr", "scheduler: dynamicrr, ocorp, greedy, heukkt")
+		schedName  = fs.String("scheduler", "dynamicrr", "scheduler: dynamicrr, local-ratio, ocorp, greedy, heukkt")
 		stations   = fs.Int("stations", 20, "number of base stations (generated topology)")
 		scenIn     = fs.String("scenario-in", "", "load the topology from this scenario JSON instead of generating one")
 		seed       = fs.Int64("seed", 42, "random seed")
@@ -69,6 +69,7 @@ func run(args []string, out io.Writer) error {
 		replayRate = fs.Int("requests-per-30fps", 1, "replay: requests per second per 30 fps of trace")
 		replayDump = fs.String("replay-dump", "", "replay: write per-slot admission decisions as JSON to this file")
 		workers    = fs.Int("workers", 1, "concurrent component solves per slot LP (dynamicrr only; decisions are identical for every value)")
+		increment  = fs.Bool("incremental", false, "reuse cached decisions of unchanged candidate-graph components between slots (dynamicrr/local-ratio; decisions are identical to a full re-solve)")
 		clShards   = fs.Int("cluster-shards", 0, "run N scheduler shards behind the cluster router (0 = single engine)")
 		pprofAddr  = fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
 
@@ -129,10 +130,15 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "arserved: pprof on http://%s/debug/pprof/\n", pln.Addr())
 	}
 
+	// The engine flips LocalRatio on when the scheduler name is
+	// "local-ratio"; the daemon only forwards the worker count and the
+	// incremental toggle.
+	drrOpts := sim.DynamicRROptions{Workers: *workers, Incremental: *increment}
+
 	cfg := serve.Config{
 		Net:             net_,
 		SchedulerName:   *schedName,
-		DynamicRR:       sim.DynamicRROptions{Workers: *workers},
+		DynamicRR:       drrOpts,
 		SlotLengthMS:    *slotMS,
 		Rng:             rnd.New(*seed, "serve"),
 		Shards:          *shards,
@@ -157,7 +163,7 @@ func run(args []string, out io.Writer) error {
 			Net:             net_,
 			Shards:          *clShards,
 			SchedulerName:   *schedName,
-			DynamicRR:       sim.DynamicRROptions{Workers: *workers},
+			DynamicRR:       drrOpts,
 			SlotLengthMS:    *slotMS,
 			Seed:            *seed,
 			CheckpointPath:  *ckptPath,

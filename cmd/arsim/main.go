@@ -71,7 +71,7 @@ func (ts *traceScheduler) Schedule(eng *sim.Engine, res *core.Result, t int, pen
 func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("arsim", flag.ContinueOnError)
 	var (
-		schedName  = fs.String("scheduler", "dynamicrr", "scheduler: dynamicrr, ocorp, greedy, heukkt")
+		schedName  = fs.String("scheduler", "dynamicrr", "scheduler: dynamicrr, local-ratio, ocorp, greedy, heukkt")
 		requests   = fs.Int("requests", 300, "number of AR requests")
 		stations   = fs.Int("stations", 20, "number of base stations")
 		horizon    = fs.Int("horizon", 120, "arrival horizon in slots")
@@ -86,6 +86,7 @@ func run(args []string, out io.Writer) (err error) {
 		replayDump = fs.String("replay-dump", "", "replay: write per-slot admission decisions as JSON to this file")
 		slotMS     = fs.Float64("slot-ms", mec.DefaultSlotLengthMS, "replay: model slot length in milliseconds")
 		workers    = fs.Int("workers", 1, "concurrent component solves per slot LP (dynamicrr only; decisions are identical for every value)")
+		increment  = fs.Bool("incremental", false, "reuse cached decisions of unchanged candidate-graph components between slots (dynamicrr/local-ratio; decisions are identical to a full re-solve)")
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = fs.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
@@ -155,8 +156,12 @@ func run(args []string, out io.Writer) (err error) {
 
 	var sched sim.Scheduler
 	switch *schedName {
-	case "dynamicrr":
-		d, err := sim.NewDynamicRR(sim.DynamicRROptions{Workers: *workers})
+	case "dynamicrr", "local-ratio":
+		d, err := sim.NewDynamicRR(sim.DynamicRROptions{
+			Workers:     *workers,
+			Incremental: *increment,
+			LocalRatio:  *schedName == "local-ratio",
+		})
 		if err != nil {
 			return err
 		}

@@ -8,7 +8,7 @@
 //
 // Experiments: fig3, fig4, fig5, fig6, regret, learning, exactgap,
 // ablation-rounding, ablation-kappa, ablation-policy, ablation-slotsize,
-// ablation-discretization, ablation-rewardmodel, all.
+// ablation-discretization, ablation-rewardmodel, decision-cost, all.
 package main
 
 import (
@@ -94,6 +94,7 @@ func run(args []string, out io.Writer) (err error) {
 		{"ablation-discretization", experiment.AblationDiscretization},
 		{"exactgap", experiment.ExactGap},
 		{"ablation-rewardmodel", experiment.AblationRewardModel},
+		{"decision-cost", experiment.DecisionCost},
 	}
 
 	ran := false

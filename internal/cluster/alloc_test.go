@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"testing"
+
+	"mecoffload/internal/graph"
+	"mecoffload/internal/mec"
+	"mecoffload/internal/serve"
+	"mecoffload/internal/topology"
+)
+
+// allocTestNetwork builds two disconnected 2-station islands — a
+// partition-aligned topology whose candidate sets never span shards, so
+// routing always takes the fast path.
+func allocTestNetwork(t *testing.T) *mec.Network {
+	t.Helper()
+	g := graph.New(4)
+	for _, e := range [][2]int{{0, 1}, {2, 3}} {
+		if _, err := g.AddEdge(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nodes := make([]topology.Node, 4)
+	for i := range nodes {
+		nodes[i] = topology.Node{X: float64(i%2) * 0.01, Y: float64(i/2) * 0.1}
+	}
+	net, err := mec.NewNetwork(mec.NetworkConfig{
+		Stations: []mec.BaseStation{
+			{CapacityMHz: 3200, SpeedFactor: 1},
+			{CapacityMHz: 3200, SpeedFactor: 1},
+			{CapacityMHz: 3200, SpeedFactor: 1},
+			{CapacityMHz: 3200, SpeedFactor: 1},
+		},
+		Topo: &topology.Topology{Graph: g, Nodes: nodes},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestRouteFastPathAllocFree pins the router's ingest floor: routing a
+// spec whose candidates stay island-confined — the overwhelmingly common
+// case — performs zero allocations once the candidate scratch pool is
+// warm. (AllocsPerRun may race a GC clearing the sync.Pool; the assert
+// tolerates the occasional refill but not a per-call allocation.)
+func TestRouteFastPathAllocFree(t *testing.T) {
+	net := allocTestNetwork(t)
+	rt := newRouter(net, []int{0, 0, 1, 1}, mec.DefaultSlotLengthMS, 2, 0)
+	spec := serve.RequestSpec{
+		AccessStation: 2,
+		DurationSlots: 6,
+		Outcomes:      []serve.OutcomeSpec{{RateMBs: 40, Prob: 1, Reward: 300}},
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		shard, span, err := rt.route(spec)
+		if err != nil || shard != 1 || span != nil {
+			t.Fatalf("route = (%d, %v, %v), want (1, nil, nil)", shard, span, err)
+		}
+	})
+	if allocs > 0.05 {
+		t.Fatalf("route fast path allocates %v per run, want ~0", allocs)
+	}
+}
+
+// TestTakeReportsDoubleBuffer pins the reward-aggregation floor: the
+// observe/takeReports cycle of a shard node reuses the same two report
+// buffers in steady state, so the lockstep tick's fan-in allocates
+// nothing once both buffers have grown to the slot's report count.
+func TestTakeReportsDoubleBuffer(t *testing.T) {
+	nd := &shardNode{}
+	ext := []uint64{1, 2, 3}
+	// Warm both halves of the double buffer.
+	for i := 0; i < 2; i++ {
+		nd.observe(i, ext, 10)
+		nd.takeReports()
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		nd.observe(7, ext, 10)
+		r := nd.takeReports()
+		if len(r) != 1 || r[0].reward != 10 {
+			t.Fatalf("reports = %+v", r)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("observe/takeReports cycle allocates %v per run, want 0", allocs)
+	}
+	// The handed-out slice must survive until the next takeReports even
+	// while new reports accumulate.
+	nd.observe(8, ext, 1)
+	r := nd.takeReports()
+	nd.observe(9, ext, 2)
+	if len(r) != 1 || r[0].slot != 8 {
+		t.Fatalf("stale buffer overwritten: %+v", r)
+	}
+}
+
+// TestSubmitBatchScratchReuse pins the batched-ingest floor indirectly:
+// the pooled batchScratch must produce identical results across reuse,
+// including shards skipped on the second batch (stale results must not
+// leak into the Shed aggregate).
+func TestSubmitBatchScratchReuse(t *testing.T) {
+	net := allocTestNetwork(t)
+	c, err := New(Config{
+		Net:            net,
+		Shards:         2,
+		Seed:           5,
+		MigrationEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer func() { _ = c.Stop() }()
+
+	mk := func(station int) serve.RequestSpec {
+		return serve.RequestSpec{
+			AccessStation: station,
+			DurationSlots: 2,
+			Outcomes:      []serve.OutcomeSpec{{RateMBs: 40, Prob: 1, Reward: 100}},
+		}
+	}
+	// First batch touches both shards and sizes the scratch.
+	res, err := c.SubmitBatch([]serve.RequestSpec{mk(0), mk(2), mk(1), mk(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 4 || res.Shed != 0 {
+		t.Fatalf("batch 1: %+v", res)
+	}
+	// Second batch touches only shard 0: shard 1's stale scratch entries
+	// must not contribute ids or sheds.
+	res, err = c.SubmitBatch([]serve.RequestSpec{mk(0), mk(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 2 || res.Shed != 0 {
+		t.Fatalf("batch 2: %+v", res)
+	}
+	// Global ids stay dense submission ordinals across scratch reuse.
+	for i, id := range res.IDs {
+		if id != uint64(4+i) {
+			t.Fatalf("batch 2 ids = %v, want [4 5]", res.IDs)
+		}
+	}
+}

@@ -63,7 +63,8 @@ type Config struct {
 	// SlotObserver, when set, receives each cluster slot's admitted
 	// global ids (ascending) and the globally aggregated reward, after
 	// every shard ticked. Replay harnesses use it to build decision
-	// dumps for oracle.DiffCluster.
+	// dumps for oracle.DiffCluster. The admitted slice is scratch
+	// reused on the next slot — copy it if it outlives the call.
 	SlotObserver func(slot int, admitted []uint64, reward float64)
 }
 
@@ -88,6 +89,11 @@ type shardNode struct {
 
 	mu      sync.Mutex
 	reports []shardSlotReport
+	// spare is the report buffer the previous takeReports handed out,
+	// recycled once its consumer is done: takeReports swaps the two, so
+	// the steady-state tick appends into an already-sized array instead
+	// of growing a fresh slice every slot.
+	spare []shardSlotReport
 }
 
 func (nd *shardNode) observe(slot int, admitted []uint64, reward float64) {
@@ -96,10 +102,15 @@ func (nd *shardNode) observe(slot int, admitted []uint64, reward float64) {
 	nd.mu.Unlock()
 }
 
+// takeReports returns the accumulated slot reports and re-arms the node
+// with the previously returned buffer (double-buffering). The returned
+// slice is only valid until the next takeReports call — the tick loop
+// consumes it immediately.
 func (nd *shardNode) takeReports() []shardSlotReport {
 	nd.mu.Lock()
 	r := nd.reports
-	nd.reports = nil
+	nd.reports = nd.spare[:0]
+	nd.spare = r
 	nd.mu.Unlock()
 	return r
 }
@@ -118,7 +129,15 @@ type Cluster struct {
 	mu          sync.Mutex
 	slot        int
 	manifestGen uint64
-	prevFiles   []string
+	// tickErrs and tickAdmitted are tickLocked's reusable per-slot
+	// scratch (mu-guarded): the fan-out error vector and the global
+	// reward-aggregation id list, grown once and recycled every slot.
+	tickErrs     []error
+	tickAdmitted []uint64
+	// submitScratch pools SubmitBatch's routing scratch (route table,
+	// per-shard spec slices, zip cursors) across concurrent batches.
+	submitScratch sync.Pool
+	prevFiles     []string
 
 	done         chan struct{}
 	tickerStop   chan struct{}
@@ -298,7 +317,13 @@ func (c *Cluster) Tick() error {
 }
 
 func (c *Cluster) tickLocked() error {
-	errs := make([]error, len(c.nodes))
+	if cap(c.tickErrs) < len(c.nodes) {
+		c.tickErrs = make([]error, len(c.nodes))
+	}
+	errs := c.tickErrs[:len(c.nodes)]
+	for i := range errs {
+		errs[i] = nil
+	}
 	var wg sync.WaitGroup
 	for i, nd := range c.nodes {
 		if !nd.eng.Alive() {
@@ -324,7 +349,7 @@ func (c *Cluster) tickLocked() error {
 
 	t := c.slot
 	total := 0.0
-	var admitted []uint64
+	admitted := c.tickAdmitted[:0]
 	for _, nd := range c.nodes {
 		for _, r := range nd.takeReports() {
 			total += r.reward
@@ -335,6 +360,7 @@ func (c *Cluster) tickLocked() error {
 			}
 		}
 	}
+	c.tickAdmitted = admitted
 	for _, nd := range c.nodes {
 		if !nd.eng.Alive() {
 			continue
@@ -407,6 +433,47 @@ func (c *Cluster) Submit(spec serve.RequestSpec) (uint64, int, error) {
 	return c.router.bind(shard, ext, spanCands), slot, nil
 }
 
+// routedSpec is one SubmitBatch spec's routing decision.
+type routedSpec struct {
+	shard     int
+	spanCands []int
+}
+
+// batchScratch is SubmitBatch's pooled routing scratch. The engines copy
+// every spec they keep before replying, so the per-shard slices are free
+// for reuse as soon as the call returns.
+type batchScratch struct {
+	routes   []routedSpec
+	perShard [][]serve.RequestSpec
+	results  []serve.BatchResult
+	shardErr []error
+	next     []int
+}
+
+// reset sizes the scratch for one batch over `shards` shards.
+func (sc *batchScratch) reset(specs, shards int) {
+	if cap(sc.routes) < specs {
+		sc.routes = make([]routedSpec, specs)
+	}
+	sc.routes = sc.routes[:specs]
+	if cap(sc.perShard) < shards {
+		sc.perShard = make([][]serve.RequestSpec, shards)
+		sc.results = make([]serve.BatchResult, shards)
+		sc.shardErr = make([]error, shards)
+		sc.next = make([]int, shards)
+	}
+	sc.perShard = sc.perShard[:shards]
+	sc.results = sc.results[:shards]
+	sc.shardErr = sc.shardErr[:shards]
+	sc.next = sc.next[:shards]
+	for k := 0; k < shards; k++ {
+		sc.perShard[k] = sc.perShard[k][:0]
+		sc.results[k] = serve.BatchResult{}
+		sc.shardErr[k] = nil
+		sc.next[k] = 0
+	}
+}
+
 // SubmitBatch routes a batch across shards and submits each shard's
 // slice through its engine's batched-ingest path. Global ids come back
 // in submission order. Shards that refuse (saturation, drain) fail
@@ -415,22 +482,23 @@ func (c *Cluster) SubmitBatch(specs []serve.RequestSpec) (serve.BatchResult, err
 	if len(specs) == 0 {
 		return serve.BatchResult{}, nil
 	}
-	type routed struct {
-		shard     int
-		spanCands []int
+	sc, _ := c.submitScratch.Get().(*batchScratch)
+	if sc == nil {
+		sc = &batchScratch{}
 	}
-	routes := make([]routed, len(specs))
-	perShard := make([][]serve.RequestSpec, len(c.nodes))
+	defer c.submitScratch.Put(sc)
+	sc.reset(len(specs), len(c.nodes))
+	routes, perShard := sc.routes, sc.perShard
 	for i, spec := range specs {
 		shard, spanCands, err := c.router.route(spec)
 		if err != nil {
 			return serve.BatchResult{}, err
 		}
-		routes[i] = routed{shard: shard, spanCands: spanCands}
+		routes[i] = routedSpec{shard: shard, spanCands: spanCands}
 		perShard[shard] = append(perShard[shard], c.localSpec(shard, spec, spanCands))
 	}
-	results := make([]serve.BatchResult, len(c.nodes))
-	shardErr := make([]error, len(c.nodes))
+	results := sc.results
+	shardErr := sc.shardErr
 	for k, slice := range perShard {
 		if len(slice) == 0 {
 			continue
@@ -439,7 +507,7 @@ func (c *Cluster) SubmitBatch(specs []serve.RequestSpec) (serve.BatchResult, err
 	}
 	// Zip shard results back into submission order, allocating global
 	// ids in that order so they stay dense submission ordinals.
-	next := make([]int, len(c.nodes))
+	next := sc.next
 	var out serve.BatchResult
 	failed := 0
 	var firstErr error

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sync"
 
-	"mecoffload/internal/core"
 	"mecoffload/internal/mec"
 	"mecoffload/internal/serve"
 )
@@ -37,6 +36,12 @@ type router struct {
 	fastPath    uint64
 	spanning    uint64
 	noCandidate uint64
+
+	// candBufs pools candidate-list scratch across concurrent route
+	// calls: the list is computed, inspected, and (unless it spans
+	// shards, the rare case that copies) discarded, so the fast path
+	// never touches the allocator.
+	candBufs sync.Pool
 }
 
 func newRouter(net *mec.Network, owner []int, slotMS float64, shards, maxRouted int) *router {
@@ -70,11 +75,16 @@ func (rt *router) route(spec serve.RequestSpec) (shard int, spanCands []int, err
 		return 0, nil, fmt.Errorf("%w: access station %d out of [0, %d)",
 			serve.ErrBadSpec, spec.AccessStation, net.NumStations())
 	}
-	r, err := serve.MaterializeSpec(net, spec)
+	bufp, _ := rt.candBufs.Get().(*[]int)
+	if bufp == nil {
+		bufp = new([]int)
+	}
+	cands, err := serve.SpecCandidates(net, spec, (*bufp)[:0])
+	*bufp = cands[:0:cap(cands)]
+	defer rt.candBufs.Put(bufp)
 	if err != nil {
 		return 0, nil, err
 	}
-	cands := core.CandidateStations(net, r, 0, rt.slotMS)
 	if len(cands) == 0 {
 		rt.mu.Lock()
 		rt.noCandidate++
@@ -99,7 +109,9 @@ func (rt *router) route(spec serve.RequestSpec) (shard int, spanCands []int, err
 	if !multi {
 		return home, nil, nil
 	}
-	return home, cands, nil
+	// Spanning candidates are retained in the routing table; copy them
+	// out of the pooled scratch.
+	return home, append([]int(nil), cands...), nil
 }
 
 // bind allocates the next global id for a freshly accepted request and

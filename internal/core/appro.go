@@ -131,7 +131,7 @@ func runRounding(n *mec.Network, reqs []*mec.Request, rng *rand.Rand, opts Appro
 			slotMHz:      slotMHz,
 			slotLengthMS: opts.SlotLengthMS,
 			names:        opts.Warm.nameTable(),
-		}, opts.Warm, pass, opts.Workers, sc, &sc.merged)
+		}, solveCfg{warm: opts.Warm, pass: pass, workers: opts.Workers}, sc, &sc.merged)
 		if err != nil {
 			return nil, err
 		}

@@ -43,7 +43,7 @@ func TestDecomposedMatchesMonolithic(t *testing.T) {
 		}
 
 		sc := getSlotScratch()
-		err = solveDecomposed(n, reqs, lpOptions{}, nil, 0, 4, sc, &sc.merged)
+		err = solveDecomposed(n, reqs, lpOptions{}, solveCfg{workers: 4}, sc, &sc.merged)
 		if err != nil {
 			putSlotScratch(sc)
 			t.Fatal(err)
@@ -77,7 +77,7 @@ func TestSplitComponentsPartition(t *testing.T) {
 		active:       active,
 		slotMHz:      n.SlotMHz(),
 		slotLengthMS: mec.DefaultSlotLengthMS,
-	}, sc)
+	}, sc, false)
 	if len(comps) == 0 {
 		t.Fatal("no components over a dense workload")
 	}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+
+	"mecoffload/internal/mec"
+)
+
+// lrMargin is the relative safety margin of the local-ratio certification.
+// Both tests below hold with exact arithmetic or not at all; the margin
+// keeps a certificate that barely holds — where simplex tolerances could
+// in principle pick a different vertex — out of the fast path. Anything
+// within the margin falls back to the LP.
+const lrMargin = 1e-6
+
+// lrChoice is one certified placement: request j starts in slot 1 of
+// station, collecting expected reward er.
+type lrChoice struct {
+	j       int
+	station int
+	er      float64
+}
+
+// tryLocalRatio is the LP-free combinatorial fast path, the uncontended
+// special case of the local-ratio real-time offloading scheduler (Gao &
+// Easwaran, arXiv:2503.16794). The local-ratio method peels the reward
+// function into layers and keeps a placement exactly when no later layer
+// competes for its resources; in the uncontended case that recursion
+// collapses to one round, and the schedule it returns is each request's
+// reward-maximal (station, slot) pair. This routine certifies that the
+// collapse applies to a component and, when it does, returns that
+// schedule directly — provably the LP-PT optimum — in microseconds.
+//
+// The certificate has two parts, checked with a safety margin (lrMargin):
+//
+//  1. Unique argmax: for every request in the component, one single
+//     variable y_{j,i*,1} strictly dominates every other variable's
+//     objective coefficient ER_jil. Since ER is non-increasing in l, the
+//     dominant variable is always at l=1, and the test reduces to the
+//     best station's ER at l=1 beating both every other station's l=1
+//     value and every station's l=2 value.
+//  2. Feasibility: the one-hot point that assigns every request its
+//     dominant variable satisfies every capacity row (10) the LP would
+//     build, with margin to spare.
+//
+// Soundness: constraint (9) caps each request's total mass at 1, so the
+// LP optimum is at most sum_j max_{i,l} ER_jil. The certified one-hot
+// point attains that bound and is feasible, so it is optimal; strictness
+// of the argmax makes it the *unique* optimum (any mass on a dominated
+// variable loses objective), so the simplex has no other vertex to
+// return. When any part of the certificate fails — tied coefficients,
+// a contended station, a request with no candidate sharing its component
+// with one that has — the component falls back to the warm-started LP.
+//
+// The returned vars/y use component-local variable indices (like buildLP)
+// and append into the shared byReq backing; the caller's merge rebases
+// them exactly as it does LP results.
+func tryLocalRatio(n *mec.Network, reqs []*mec.Request, comp component, opts lpOptions) ([]slotVar, []float64, float64, bool) {
+	cu := n.CUnit()
+	choices := make([]lrChoice, 0, len(comp.reqs))
+	for _, j := range comp.reqs {
+		r := reqs[j]
+		wait := 0
+		if opts.waitSlots != nil {
+			wait = opts.waitSlots(j)
+		}
+		best, bestER, second := -1, 0.0, 0.0
+		for _, i := range comp.stations {
+			capI := opts.capOf(i)
+			if capI < opts.slotMHz {
+				continue
+			}
+			if !r.DelayFeasible(n, i, wait, opts.slotLengthMS) {
+				continue
+			}
+			er1 := r.Dist.RewardMassBelow((capI - opts.slotMHz) / cu)
+			if er1 <= 0 {
+				continue
+			}
+			// ER at l >= 2 is bounded by the l=2 value (non-increasing
+			// in l), so it is the only later slot the argmax test needs.
+			if capI >= 2*opts.slotMHz {
+				if er2 := r.Dist.RewardMassBelow((capI - 2*opts.slotMHz) / cu); er2 > second {
+					second = er2
+				}
+			}
+			switch {
+			case er1 > bestER:
+				if bestER > second {
+					second = bestER
+				}
+				best, bestER = i, er1
+			case er1 > second:
+				second = er1
+			}
+		}
+		if best < 0 {
+			continue // no variable anywhere; the LP rejects it too
+		}
+		if bestER-second <= lrMargin*bestER {
+			return nil, nil, 0, false
+		}
+		choices = append(choices, lrChoice{j: j, station: best, er: bestER})
+	}
+
+	// Part 2: the one-hot point must satisfy every capacity row (10) the
+	// LP would build, with margin.
+	for _, i := range comp.stations {
+		capI := opts.capOf(i)
+		L := int(capI / opts.slotMHz)
+		shareCap := 0.0
+		if opts.shareCapFor != nil {
+			shareCap = opts.shareCapFor(i)
+		}
+		for l := 1; l <= L; l++ {
+			slotCap := float64(l) * opts.slotMHz / cu
+			trunc := slotCap
+			if shareCap > 0 {
+				trunc = math.Min(trunc, shareCap)
+			}
+			lhs := 0.0
+			for _, c := range choices {
+				if c.station != i {
+					continue
+				}
+				lhs += reqs[c.j].Dist.ExpectedTruncatedRate(trunc)
+			}
+			if lhs > (1-lrMargin)*2*slotCap {
+				return nil, nil, 0, false
+			}
+		}
+	}
+
+	vars := make([]slotVar, 0, len(choices))
+	y := make([]float64, 0, len(choices))
+	obj := 0.0
+	for _, c := range choices {
+		opts.byReq[c.j] = append(opts.byReq[c.j], len(vars))
+		vars = append(vars, slotVar{req: c.j, station: c.station, slot: 1, er: c.er})
+		y = append(y, 1)
+		obj += c.er
+	}
+	return vars, y, obj, true
+}

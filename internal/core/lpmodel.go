@@ -54,6 +54,15 @@ type lpOptions struct {
 	stations []int
 	// names, when non-nil, interns row/column names across slots.
 	names *nameCache
+	// positional names variables and assign rows by the request's
+	// position within active instead of its global index. Consecutive
+	// slots of a long-running daemon assign fresh global ids to every
+	// arrival, so global names make structurally identical slot LPs look
+	// different; positional names make them bit-identical, which is what
+	// lets the incremental cache prove a component unchanged and the warm
+	// cache resolve a previous basis without any misses. Station indices
+	// (and cap rows) keep their global ids — stations are stable.
+	positional bool
 	// byReq, when non-nil, is used as the model's byReq backing instead of
 	// allocating one (entries for active requests must be length-0 and
 	// len(byReq) >= len(reqs)). Concurrent component builds share one
@@ -116,8 +125,12 @@ func buildLP(n *mec.Network, reqs []*mec.Request, opts lpOptions) (*lpModel, err
 	}
 	m := &lpModel{prob: prob, byReq: byReq}
 
-	for _, j := range active {
+	for k, j := range active {
 		r := reqs[j]
+		nameIdx := j
+		if opts.positional {
+			nameIdx = k
+		}
 		wait := 0
 		if opts.waitSlots != nil {
 			wait = opts.waitSlots(j)
@@ -137,7 +150,7 @@ func buildLP(n *mec.Network, reqs []*mec.Request, opts lpOptions) (*lpModel, err
 				if er <= 0 {
 					continue
 				}
-				v := prob.AddVariable(opts.names.yName(j, i, l), er)
+				v := prob.AddVariable(opts.names.yName(nameIdx, i, l), er)
 				idx := len(m.vars)
 				m.vars = append(m.vars, slotVar{req: j, station: i, slot: l, er: er, v: v})
 				m.byReq[j] = append(m.byReq[j], idx)
@@ -151,15 +164,19 @@ func buildLP(n *mec.Network, reqs []*mec.Request, opts lpOptions) (*lpModel, err
 	}
 
 	// Constraint (9): each request starts in at most one slot.
-	for _, j := range active {
+	for k, j := range active {
 		if len(m.byReq[j]) == 0 {
 			continue
+		}
+		nameIdx := j
+		if opts.positional {
+			nameIdx = k
 		}
 		terms := make([]lp.Term, 0, len(m.byReq[j]))
 		for _, idx := range m.byReq[j] {
 			terms = append(terms, lp.Term{Var: m.vars[idx].v, Coef: 1})
 		}
-		if _, err := prob.AddConstraint(opts.names.assignName(j), lp.LE, 1, terms...); err != nil {
+		if _, err := prob.AddConstraint(opts.names.assignName(nameIdx), lp.LE, 1, terms...); err != nil {
 			return nil, err
 		}
 	}

@@ -1,6 +1,10 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"mecoffload/internal/lp"
+)
 
 // slotScratch bundles the reusable buffers of one scheduling call:
 // the decomposition's union-find arrays, the merged LP view, and the
@@ -16,6 +20,22 @@ type slotScratch struct {
 	rootComp  []int
 	comps     []component
 	activeAll []int
+
+	// per-request candidate station lists recorded during the
+	// splitComponents scan (flat list + offsets per active position,
+	// posOf maps global request index -> active position); consumed by
+	// the incremental signatures and the local-ratio certification.
+	cands   []int
+	candOff []int
+	posOf   []int
+
+	// incremental signatures of this slot's components (flat + offsets)
+	sigs   []uint64
+	sigOff []int
+
+	// per-component solve results and warm-start seeds
+	results []compSolve
+	seeds   []*lp.Basis
 
 	// merged LP view shared across rounding passes
 	merged mergedModel
@@ -50,6 +70,33 @@ func growBoolsClear(buf *[]bool, n int) []bool {
 	b := *buf
 	for i := range b {
 		b[i] = false
+	}
+	return b
+}
+
+// growCompSolves resizes *buf to n and zeroes every entry (stale cached
+// pointers or errors from a previous slot must not leak into this one).
+func growCompSolves(buf *[]compSolve, n int) []compSolve {
+	if cap(*buf) < n {
+		*buf = make([]compSolve, n)
+	}
+	*buf = (*buf)[:n]
+	b := *buf
+	for i := range b {
+		b[i] = compSolve{}
+	}
+	return b
+}
+
+// growSeeds resizes *buf to n and clears it.
+func growSeeds(buf *[]*lp.Basis, n int) []*lp.Basis {
+	if cap(*buf) < n {
+		*buf = make([]*lp.Basis, n)
+	}
+	*buf = (*buf)[:n]
+	b := *buf
+	for i := range b {
+		b[i] = nil
 	}
 	return b
 }

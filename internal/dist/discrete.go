@@ -112,6 +112,12 @@ func (d *RateReward) Outcomes() []Outcome {
 // Len returns the support size |DR| of the distribution.
 func (d *RateReward) Len() int { return len(d.outcomes) }
 
+// OutcomeAt returns outcome i of the sorted support without copying the
+// whole slice. The incremental scheduler's per-component signatures read
+// every outcome each slot, so this accessor keeps that path allocation-free
+// (Outcomes() copies).
+func (d *RateReward) OutcomeAt(i int) Outcome { return d.outcomes[i] }
+
 // MinRate returns the smallest rate in the support.
 func (d *RateReward) MinRate() float64 { return d.outcomes[0].Rate }
 

@@ -1,0 +1,37 @@
+package experiment
+
+import "mecoffload/internal/core"
+
+// DecisionCost compares the three per-slot decision engines of the online
+// scheduler — full LP-PT, incremental LP-PT (dirty-component re-solve),
+// and the local-ratio fast path with LP fallback — as the workload grows.
+// Reward and latency columns measure fidelity: the incremental and
+// fast-path variants are exact reformulations, so any reward gap beyond
+// rng noise is a bug (the oracle differentials pin the stronger
+// decision-for-decision claim on a shared trace; here each variant runs
+// its own full simulation). The runtime column measures what the
+// reformulations buy: clean components skip the LP entirely, certified
+// components skip even building one.
+func DecisionCost(opts Options) (*Table, error) {
+	opts.fill()
+	tbl := &Table{
+		ID:         "decision-cost",
+		Title:      "Per-slot decision cost: LP-PT vs incremental vs local-ratio",
+		XLabel:     "requests",
+		Algorithms: []string{AlgoDynamicRR, AlgoIncRR, AlgoLocalRatio},
+	}
+	xs := defaultXRequests()
+	err := sweep(opts, tbl, xs,
+		func(x float64, rep int) (*instance, error) {
+			xi := indexOf(xs, x)
+			return genInstance(opts.Stations, onlineWorkload(int(x), opts.Horizon), instSeed(opts.Seed, 8, xi, rep))
+		},
+		func(inst *instance, algo string, x float64, rep int, _ *core.WarmCache) (*core.Result, error) {
+			xi := indexOf(xs, x)
+			// Same run seed for every variant: fidelity columns compare
+			// like against like on identical realization draws.
+			return runOnline(inst, algo, runSeed(opts.Seed, 8, xi, rep, 0),
+				opts.Horizon+20, !opts.SkipAudit)
+		})
+	return tbl, err
+}

@@ -73,9 +73,10 @@ type Config struct {
 	// Net is the MEC topology to serve (required).
 	Net *mec.Network
 	// SchedulerName selects the per-slot scheduler: "dynamicrr"
-	// (default), "ocorp", "greedy", or "heukkt". The engine constructs
-	// the scheduler itself so a checkpointed bandit state can be restored
-	// into it.
+	// (default), "local-ratio" (DynamicRR with the LP-free local-ratio
+	// fast path on), "ocorp", "greedy", or "heukkt". The engine
+	// constructs the scheduler itself so a checkpointed bandit state can
+	// be restored into it.
 	SchedulerName string
 	// DynamicRR tunes the default scheduler; ignored for baselines.
 	DynamicRR sim.DynamicRROptions
@@ -158,9 +159,10 @@ type Config struct {
 	// DecisionObserver, when set, receives each slot's admitted external
 	// ids (in admission order) and the slot's realized reward, called on
 	// the loop goroutine after settlement. It must not call back into
-	// the engine. The cluster uses it to aggregate shard rewards into
-	// the global feedback signal and to build parity dumps in external
-	// id space.
+	// the engine. The admitted slice is scratch the engine reuses on its
+	// next slot — copy it if it must outlive the inter-tick window. The
+	// cluster uses it to aggregate shard rewards into the global
+	// feedback signal and to build parity dumps in external id space.
 	DecisionObserver func(slot int, admitted []uint64, reward float64)
 }
 
@@ -220,6 +222,9 @@ type Engine struct {
 	live    map[int]*liveEntry // internal id -> live request
 	settled int                // decided requests still occupying planner slices
 	drain   bool
+	// admittedExtBuf is runSlot's reusable external-id scratch for the
+	// DecisionObserver; valid only until the next slot by contract.
+	admittedExtBuf []uint64
 }
 
 type intakeMsg struct {
@@ -385,7 +390,10 @@ func New(cfg Config) (*Engine, error) {
 // threshold learner from a checkpointed snapshot when one is given.
 func buildScheduler(name string, opts sim.DynamicRROptions, snap *bandit.LipschitzSnapshot) (sim.Scheduler, error) {
 	switch name {
-	case "dynamicrr":
+	case "dynamicrr", "local-ratio":
+		if name == "local-ratio" {
+			opts.LocalRatio = true
+		}
 		if snap != nil {
 			lip, err := bandit.RestoreLipschitz(snap)
 			if err != nil {
@@ -649,6 +657,15 @@ func (e *Engine) WarmStats() (hits, misses uint64) {
 		return d.Warm().Stats()
 	}
 	return 0, 0
+}
+
+// IncStats returns the dirty-component tracker's counters (all zero for
+// schedulers without the incremental re-solve or the fast path).
+func (e *Engine) IncStats() core.IncStats {
+	if d, ok := e.sched.(*sim.DynamicRR); ok {
+		return d.IncStats()
+	}
+	return core.IncStats{}
 }
 
 // BanditSnapshot captures the DynamicRR threshold learner's state; it
@@ -1099,15 +1116,13 @@ func (e *Engine) runSlot() {
 		e.cfg.SlotObserver(rep)
 	}
 	if e.cfg.DecisionObserver != nil {
-		var admittedExt []uint64
-		if len(rep.Admitted) > 0 {
-			admittedExt = make([]uint64, 0, len(rep.Admitted))
-			for _, j := range rep.Admitted {
-				if le, ok := e.live[j]; ok {
-					admittedExt = append(admittedExt, le.ext)
-				}
+		admittedExt := e.admittedExtBuf[:0]
+		for _, j := range rep.Admitted {
+			if le, ok := e.live[j]; ok {
+				admittedExt = append(admittedExt, le.ext)
 			}
 		}
+		e.admittedExtBuf = admittedExt
 		e.cfg.DecisionObserver(t, admittedExt, rep.Reward)
 	}
 

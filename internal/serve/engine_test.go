@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"mecoffload/internal/mec"
+	"mecoffload/internal/sim"
 )
 
 func testNetwork(t *testing.T, stations int) *mec.Network {
@@ -145,7 +146,7 @@ func TestWarmStartHitRate(t *testing.T) {
 		t.Fatalf("warm-start hits = 0 after second tick (misses = %d)", misses)
 	}
 	var buf bytes.Buffer
-	if err := e.Metrics().WriteProm(&buf, hits, misses, e.StagedDepth(), e.Gauges()); err != nil {
+	if err := e.Metrics().WriteProm(&buf, hits, misses, e.StagedDepth(), e.Gauges(), e.IncStats()); err != nil {
 		t.Fatal(err)
 	}
 	body := buf.String()
@@ -154,6 +155,42 @@ func TestWarmStartHitRate(t *testing.T) {
 	}
 	if strings.Contains(body, "arserved_lp_warmstart_hit_ratio 0\n") {
 		t.Fatal("warm-start hit ratio still zero after second tick")
+	}
+	// A full-re-solve engine has no dirty-component tracker: the family
+	// must be absent rather than rendered as all-zero counters.
+	if strings.Contains(body, "arserved_component_solves_total") {
+		t.Fatal("component-solve counters rendered without an incremental tracker")
+	}
+}
+
+// TestIncrementalMetrics pins the incremental scheduler's observability:
+// after two identical slots the dirty-component tracker has clean hits
+// and /metrics renders the per-path component-solve split.
+func TestIncrementalMetrics(t *testing.T) {
+	e := testEngine(t, Config{DynamicRR: sim.DynamicRROptions{Incremental: true}})
+	for i := 0; i < 2; i++ {
+		submitN(t, e, 8)
+		if err := e.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.IncStats()
+	if st.CleanHits+st.DirtySolves == 0 {
+		t.Fatal("incremental engine tracked no component solves")
+	}
+	hits, misses := e.WarmStats()
+	var buf bytes.Buffer
+	if err := e.Metrics().WriteProm(&buf, hits, misses, e.StagedDepth(), e.Gauges(), e.IncStats()); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{
+		"arserved_component_solves_total{path=\"clean\"}",
+		"arserved_component_solves_total{path=\"lp\"}",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %s:\n%s", want, body)
+		}
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"math"
 	"sort"
 	"sync/atomic"
+
+	"mecoffload/internal/core"
 )
 
 // slotDurationBucketsMS are the upper bounds (milliseconds) of the slot
@@ -188,8 +190,11 @@ type StationGauge struct {
 // WriteProm renders the metric set in Prometheus text exposition format
 // (version 0.0.4). warmHits/warmMisses come from the scheduler's LP
 // warm-start cache; staged is the pump's overflow-stage depth; stations
-// come from the shards.
-func (m *Metrics) WriteProm(w io.Writer, warmHits, warmMisses uint64, staged int64, stations []StationGauge) error {
+// come from the shards; inc carries the dirty-component tracker's
+// counters (all zero unless the scheduler runs incremental or
+// local-ratio mode, in which case the component-solve split shows how
+// often the slot skipped the LP).
+func (m *Metrics) WriteProm(w io.Writer, warmHits, warmMisses uint64, staged int64, stations []StationGauge, inc core.IncStats) error {
 	var err error
 	p := func(format string, args ...any) {
 		if err == nil {
@@ -281,6 +286,21 @@ func (m *Metrics) WriteProm(w io.Writer, warmHits, warmMisses uint64, staged int
 		ratio = float64(warmHits) / float64(total)
 	}
 	p("arserved_lp_warmstart_hit_ratio %g\n", ratio)
+
+	if inc != (core.IncStats{}) {
+		// In local-ratio-only mode the counters-only tracker never counts
+		// dirty solves, so the residual lp bucket clamps at zero there.
+		lpSolves := int64(inc.DirtySolves) - int64(inc.FastPath) - int64(inc.FastFallback)
+		if lpSolves < 0 {
+			lpSolves = 0
+		}
+		p("# HELP arserved_component_solves_total Per-slot LP component decisions by path: clean replays the cached decision, local-ratio certifies and skips the LP, fallback failed certification, lp is a full component solve.\n")
+		p("# TYPE arserved_component_solves_total counter\n")
+		p("arserved_component_solves_total{path=\"clean\"} %d\n", inc.CleanHits)
+		p("arserved_component_solves_total{path=\"local-ratio\"} %d\n", inc.FastPath)
+		p("arserved_component_solves_total{path=\"fallback\"} %d\n", inc.FastFallback)
+		p("arserved_component_solves_total{path=\"lp\"} %d\n", lpSolves)
+	}
 
 	if len(stations) > 0 {
 		sorted := append([]StationGauge(nil), stations...)

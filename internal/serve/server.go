@@ -166,7 +166,7 @@ func Handler(e *Engine) http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		hits, misses := e.WarmStats()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = e.Metrics().WriteProm(w, hits, misses, e.StagedDepth(), e.Gauges())
+		_ = e.Metrics().WriteProm(w, hits, misses, e.StagedDepth(), e.Gauges(), e.IncStats())
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
