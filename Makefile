@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build test race oracle cluster-parity incremental-parity bench bench-check bench-smoke load-smoke fuzz lint fmt vet clean
+.PHONY: verify build test race oracle cluster-parity incremental-parity drift bench bench-check bench-smoke load-smoke fuzz lint fmt vet clean
 
 ## verify: tier-1 gate — build everything, vet, gofmt check, full tests.
 verify: build vet fmt-check test
@@ -34,6 +34,18 @@ cluster-parity:
 ## under the race detector (same as the CI incremental-parity job).
 incremental-parity:
 	$(GO) test -race -count=1 -run 'TestDiffIncrementalFull|TestDiffLocalRatioLP|TestIncCache' ./internal/oracle/ ./internal/core/
+
+## drift: the adaptivity correctness gate — seeded regret-bound
+## assertions proving the drift-aware policies beat stationary UCB1 on
+## every drifting scenario (and stay within tolerance on the i.i.d.
+## control), the metamorphic invariance suites (arm relabeling, scenario
+## time shift), the drift-policy checkpoint/restore cycle, and the
+## cluster mobility edge-case parity differentials, all with pinned
+## seeds under the race detector (same as the CI drift-parity job).
+drift:
+	$(GO) test -race -count=1 -run \
+		'TestDriftAware|TestDriftTraceStructure|TestDriftPoliciesRecoverFromShift|TestMetamorphic|TestTimeShiftMetamorphic|TestCheckpointResumeDriftPolicies|TestClusterHandoverAcrossPartition|TestClusterOutageWithInflightStreams|TestClusterCandidateShrinksEmpty' \
+		./internal/experiment/ ./internal/bandit/ ./internal/scenario/ ./internal/serve/ ./internal/cluster/
 
 ## oracle: differential oracle suite plus the mutation smoke check,
 ## mirroring the CI oracle job — the oraclemutant build must FAIL the
@@ -94,7 +106,7 @@ bench-check:
 ## -benchtime 1x neither timings nor allocation counts are comparable
 ## to the amortized baseline (bench-check is the gate).
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkAppro|BenchmarkDynamicRRRun|BenchmarkLPColdVsWarm|BenchmarkServeSlot|BenchmarkServeIngest|BenchmarkClusterServeSlot|BenchmarkIncrementalServeSlot|BenchmarkLocalRatio' -benchtime 1x -benchmem . \
+	$(GO) test -run '^$$' -bench 'BenchmarkAppro|BenchmarkDynamicRRRun|BenchmarkLPColdVsWarm|BenchmarkServeSlot|BenchmarkServeIngest|BenchmarkClusterServeSlot|BenchmarkIncrementalServeSlot|BenchmarkLocalRatio|BenchmarkDriftAdaptivity' -benchtime 1x -benchmem . \
 		| $(GO) run ./cmd/benchjson -tee -out bench-smoke.json
 
 ## load-smoke: build arserved and drive the batched intake at 100k req/s
@@ -114,10 +126,12 @@ fuzz:
 	$(GO) test -run 'FuzzParse' ./internal/lp/
 	$(GO) test -run 'FuzzOracleLP|FuzzDirtySet' ./internal/oracle/
 	$(GO) test -run 'FuzzBatchDecode' ./internal/serve/
+	$(GO) test -run 'FuzzScenarioDecode|FuzzScenarioV1Decode' ./internal/scenario/
 	$(GO) test -fuzz 'FuzzParse' -fuzztime 30s ./internal/lp/
 	$(GO) test -fuzz 'FuzzOracleLP' -fuzztime 30s ./internal/oracle/
 	$(GO) test -fuzz 'FuzzDirtySet' -fuzztime 30s ./internal/oracle/
 	$(GO) test -fuzz 'FuzzBatchDecode' -fuzztime 30s ./internal/serve/
+	$(GO) test -fuzz 'FuzzScenarioDecode$$' -fuzztime 30s ./internal/scenario/
 
 ## lint: staticcheck (correctness checks only, see staticcheck.conf) and
 ## govulncheck, both at pinned versions via the module proxy — nothing is

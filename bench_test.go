@@ -54,6 +54,9 @@ var (
 	learningOnce                                               sync.Once
 	learningResult                                             *experiment.LearningCurve
 	learningErr                                                error
+	driftOnce                                                  sync.Once
+	driftResult                                                *experiment.DriftResult
+	driftErr                                                   error
 )
 
 // reportSeries emits the metric of every algorithm at the most-loaded
@@ -173,6 +176,27 @@ func BenchmarkLearningCurve(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		b.ReportMetric(learningResult.Learner[last].Mean(), "learner_lastWindow")
 		b.ReportMetric(learningResult.Fixed[last].Mean(), "fixed_lastWindow")
+	}
+}
+
+// E13: non-stationary scenario pack. The reported metrics are the
+// final-checkpoint cumulative regret (vs the best fixed threshold in
+// hindsight) of stationary UCB1 and the drift-aware policies on every
+// builtin scenario, so the benchjson artifact pins adaptivity: a change
+// that makes sw-ucb/d-ucb/restart:se regress toward ucb1 on the drifting
+// scenarios shows up as a metric jump in the bench-smoke artifact diff.
+func BenchmarkDriftAdaptivity(b *testing.B) {
+	driftOnce.Do(func() { driftResult, driftErr = experiment.Drift(benchOpts()) })
+	if driftErr != nil {
+		b.Fatal(driftErr)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, sc := range driftResult.Scenarios {
+			for _, p := range sc.Policies {
+				last := len(sc.Checkpoints) - 1
+				b.ReportMetric(sc.Regret[p][last].Mean(), sc.Name+"_"+p+"_regret")
+			}
+		}
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"io"
 	"os"
 
+	"mecoffload/internal/bandit"
 	"mecoffload/internal/core"
 	"mecoffload/internal/mec"
 	"mecoffload/internal/oracle"
@@ -33,6 +34,10 @@ import (
 	"mecoffload/internal/stats"
 	"mecoffload/internal/workload"
 )
+
+// banditKappa is the arm count a -bandit policy is built with; it
+// matches DynamicRR's default threshold discretization.
+const banditKappa = 16
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -72,6 +77,7 @@ func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("arsim", flag.ContinueOnError)
 	var (
 		schedName  = fs.String("scheduler", "dynamicrr", "scheduler: dynamicrr, local-ratio, ocorp, greedy, heukkt")
+		banditSpec = fs.String("bandit", "", "arm policy for dynamicrr: se, ucb1, sw-ucb[:w], d-ucb[:g], exp3s[:g[,a]], restart:<inner> (empty = se)")
 		requests   = fs.Int("requests", 300, "number of AR requests")
 		stations   = fs.Int("stations", 20, "number of base stations")
 		horizon    = fs.Int("horizon", 120, "arrival horizon in slots")
@@ -157,11 +163,20 @@ func run(args []string, out io.Writer) (err error) {
 	var sched sim.Scheduler
 	switch *schedName {
 	case "dynamicrr", "local-ratio":
-		d, err := sim.NewDynamicRR(sim.DynamicRROptions{
+		dopts := sim.DynamicRROptions{
 			Workers:     *workers,
 			Incremental: *increment,
 			LocalRatio:  *schedName == "local-ratio",
-		})
+		}
+		if *banditSpec != "" {
+			pol, err := bandit.Parse(*banditSpec, banditKappa, rnd.Derive(*seed, "bandit:"+*banditSpec))
+			if err != nil {
+				return err
+			}
+			dopts.Kappa = banditKappa
+			dopts.Policy = pol
+		}
+		d, err := sim.NewDynamicRR(dopts)
 		if err != nil {
 			return err
 		}

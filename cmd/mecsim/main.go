@@ -6,7 +6,7 @@
 //	mecsim -experiment fig3 [-reps 5] [-seed 42] [-csv out.csv]
 //	mecsim -experiment all
 //
-// Experiments: fig3, fig4, fig5, fig6, regret, learning, exactgap,
+// Experiments: fig3, fig4, fig5, fig6, regret, learning, drift, exactgap,
 // ablation-rounding, ablation-kappa, ablation-policy, ablation-slotsize,
 // ablation-discretization, ablation-rewardmodel, decision-cost, all.
 package main
@@ -31,16 +31,18 @@ func main() {
 func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("mecsim", flag.ContinueOnError)
 	var (
-		exp      = fs.String("experiment", "all", "experiment id (fig3..fig6, regret, ablation-*, all)")
-		reps     = fs.Int("reps", experiment.DefaultRepetitions, "repetitions per cell")
-		seed     = fs.Int64("seed", 42, "base random seed")
-		stations = fs.Int("stations", experiment.DefaultStations, "number of base stations")
-		requests = fs.Int("requests", experiment.DefaultRequests, "workload size for fixed-|R| sweeps")
-		horizon  = fs.Int("horizon", experiment.DefaultHorizon, "online arrival horizon in slots")
-		parallel = fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS; results are identical for every value)")
-		csvPath  = fs.String("csv", "", "also write results as CSV to this file")
-		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = fs.String("memprofile", "", "write an allocation profile to this file at exit")
+		exp       = fs.String("experiment", "all", "experiment id (fig3..fig6, regret, ablation-*, all)")
+		reps      = fs.Int("reps", experiment.DefaultRepetitions, "repetitions per cell")
+		seed      = fs.Int64("seed", 42, "base random seed")
+		stations  = fs.Int("stations", experiment.DefaultStations, "number of base stations")
+		requests  = fs.Int("requests", experiment.DefaultRequests, "workload size for fixed-|R| sweeps")
+		horizon   = fs.Int("horizon", experiment.DefaultHorizon, "online arrival horizon in slots")
+		parallel  = fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS; results are identical for every value)")
+		csvPath   = fs.String("csv", "", "also write results as CSV to this file")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write an allocation profile to this file at exit")
+		exp3Gamma = fs.Float64("exp3-gamma", 0, "Exp3 exploration mix for ablation-policy (0 = default)")
+		exp3Alpha = fs.Float64("exp3-alpha", 0, "Exp3.S weight-sharing rate for ablation-policy (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +64,8 @@ func run(args []string, out io.Writer) (err error) {
 		Requests:    *requests,
 		Horizon:     *horizon,
 		Parallel:    *parallel,
+		Exp3Gamma:   *exp3Gamma,
+		Exp3Alpha:   *exp3Alpha,
 	}
 
 	var csv io.Writer
@@ -142,6 +146,21 @@ func run(args []string, out io.Writer) (err error) {
 		}
 		if csv != nil {
 			if err := lc.WriteCSV(csv); err != nil {
+				return err
+			}
+		}
+	}
+	if *exp == "all" || *exp == "drift" {
+		ran = true
+		dr, err := experiment.Drift(opts)
+		if err != nil {
+			return fmt.Errorf("drift: %w", err)
+		}
+		if err := dr.WriteText(out); err != nil {
+			return err
+		}
+		if csv != nil {
+			if err := dr.WriteCSV(csv); err != nil {
 				return err
 			}
 		}

@@ -1,12 +1,16 @@
 // Command topogen generates GT-ITM-style MEC backhaul topologies and
 // prints them as an edge list (or DOT graph) for inspection and for use
-// with external tools.
+// with external tools. It also emits the versioned drift-scenario
+// documents consumed by mecsim's drift experiment and the sim engine's
+// SetDrift hook.
 //
 // Usage:
 //
 //	topogen -n 20 -seed 1                 # Waxman, edge list
 //	topogen -n 20 -format dot             # Graphviz output
 //	topogen -model transit-stub -core 4 -stubs 2 -stubsize 3
+//	topogen -scenario diurnal             # builtin drift scenario as JSON
+//	topogen -scenario list                # list builtin scenario names
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"os"
 
 	"mecoffload/internal/rnd"
+	"mecoffload/internal/scenario"
 	"mecoffload/internal/topology"
 )
 
@@ -38,9 +43,26 @@ func run(args []string, out io.Writer) error {
 		stubs    = fs.Int("stubs", 2, "transit-stub: stub domains per transit node")
 		stubSize = fs.Int("stubsize", 3, "transit-stub: nodes per stub domain")
 		format   = fs.String("format", "edges", "output format: edges or dot")
+		scen     = fs.String("scenario", "", "emit a builtin drift scenario as JSON instead of a topology (\"list\" to enumerate)")
+		horizon  = fs.Int("horizon", 0, "scenario: override the horizon in slots (0 = builtin default)")
+		rate     = fs.Float64("rate", 0, "scenario: override the baseline arrival rate per slot (0 = builtin default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *scen != "" {
+		nSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "n" {
+				nSet = true
+			}
+		})
+		stations := 0 // keep the builtin's station count
+		if nSet {
+			stations = *n
+		}
+		return emitScenario(out, *scen, *seed, stations, *horizon, *rate)
 	}
 
 	rng := rnd.New(*seed, "topology")
@@ -84,4 +106,33 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown format %q", *format)
 	}
 	return nil
+}
+
+// emitScenario writes a builtin drift scenario as validated JSON, with
+// optional overrides for seed, station count, horizon, and baseline
+// arrival rate. Overridden documents re-validate before emission, so a
+// station count that breaks a scripted handover or outage is rejected
+// here rather than at materialization time.
+func emitScenario(out io.Writer, name string, seed int64, stations, horizon int, rate float64) error {
+	if name == "list" {
+		for _, n := range scenario.BuiltinNames() {
+			fmt.Fprintln(out, n)
+		}
+		return nil
+	}
+	doc, err := scenario.Builtin(name)
+	if err != nil {
+		return err
+	}
+	doc.Seed = seed
+	if stations > 0 {
+		doc.Stations = stations
+	}
+	if horizon > 0 {
+		doc.Horizon = horizon
+	}
+	if rate > 0 {
+		doc.RatePerSlot = rate
+	}
+	return scenario.WriteDrift(out, doc)
 }

@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"mecoffload/internal/scenario"
 )
 
 func TestRunEdges(t *testing.T) {
@@ -53,5 +55,45 @@ func TestRunBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-n", "0"}, &out); err == nil {
 		t.Fatal("want error for zero nodes")
+	}
+}
+
+func TestRunScenarioList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scenario", "list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"iid", "diurnal", "flash-crowd", "mobility-handover", "correlated-outage"} {
+		if !strings.Contains(out.String(), name) {
+			t.Fatalf("missing %s in list:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestRunScenarioEmit(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scenario", "diurnal", "-seed", "9", "-horizon", "1200"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := scenario.ReadDrift(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatalf("emitted scenario does not round-trip: %v", err)
+	}
+	if doc.Name != "diurnal" || doc.Seed != 9 || doc.Horizon != 1200 {
+		t.Fatalf("overrides not applied: %+v", doc)
+	}
+	if doc.Stations != 6 {
+		t.Fatalf("station count changed without -n: %d", doc.Stations)
+	}
+}
+
+func TestRunScenarioRejects(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scenario", "no-such"}, &out); err == nil {
+		t.Fatal("want error for unknown scenario")
+	}
+	// Shrinking the network below a scripted handover target must fail.
+	if err := run([]string{"-scenario", "mobility-handover", "-n", "3"}, &out); err == nil {
+		t.Fatal("want error for station count breaking events")
 	}
 }

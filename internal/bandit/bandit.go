@@ -195,6 +195,18 @@ func (se *SuccessiveElimination) eliminate() {
 	}
 }
 
+// Reset implements Resettable: reactivate every arm and wipe all
+// statistics, as if freshly constructed.
+func (se *SuccessiveElimination) Reset() {
+	for i := range se.arms {
+		se.arms[i] = armStats{}
+		se.active[i] = true
+	}
+	se.nActive = len(se.arms)
+	se.t, se.next = 0, 0
+	se.minObs, se.maxObs, se.seen = 0, 0, false
+}
+
 // UCB1 is the classic optimism-in-face-of-uncertainty policy, provided as
 // an ablation baseline for the arm-selection step of DynamicRR.
 type UCB1 struct {
@@ -257,6 +269,15 @@ func (u *UCB1) Update(arm int, reward float64) {
 		u.minObs = math.Min(u.minObs, reward)
 		u.maxObs = math.Max(u.maxObs, reward)
 	}
+}
+
+// Reset implements Resettable.
+func (u *UCB1) Reset() {
+	for i := range u.arms {
+		u.arms[i] = armStats{}
+	}
+	u.t = 0
+	u.minObs, u.maxObs, u.seen = 0, 0, false
 }
 
 // EpsilonGreedy explores uniformly with probability eps and exploits the

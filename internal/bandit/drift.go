@@ -1,0 +1,506 @@
+// Drift-aware bandit policies for non-stationary reward processes. The
+// paper's model draws per-slot rewards i.i.d., but real AR traffic drifts
+// (diurnal load, flash crowds, mobility, outages — see Rahman et al.,
+// arXiv:2006.12032), and a stationary learner that has committed to an arm
+// keeps playing it long after the optimum moved. Three standard remedies,
+// all implementing the Policy + snapshot interfaces so they drop into
+// DynamicRR, arserved checkpoints, and the cluster unchanged:
+//
+//   - SlidingWindowUCB (Garivier & Moulines): UCB over the last W plays
+//     only, forgetting everything older;
+//   - DiscountedUCB: exponentially discounted counts and sums, a smooth
+//     version of the same forgetting;
+//   - Restart: any resettable inner policy supervised by a Page–Hinkley
+//     change-point detector on the reward stream; a detected mean shift
+//     wipes the inner policy's state and restarts learning.
+package bandit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Defaults for the drift-aware policies. Window and discount are paired:
+// an effective horizon of W plays corresponds to gamma ~ 1 - 1/W.
+const (
+	// DefaultWindow is SlidingWindowUCB's history length in plays.
+	DefaultWindow = 128
+	// DefaultDiscount is DiscountedUCB's per-play discount factor.
+	DefaultDiscount = 0.99
+	// DefaultPHDelta is the Page–Hinkley per-step drift allowance in
+	// normalized [0, 1] reward units.
+	DefaultPHDelta = 0.005
+	// DefaultPHLambda is the Page–Hinkley alarm threshold in cumulative
+	// normalized units.
+	DefaultPHLambda = 2.0
+	// DefaultPHWarmup is the minimum number of observations after a
+	// (re)start before the detector may alarm again.
+	DefaultPHWarmup = 20
+)
+
+// Resettable is a Policy whose learning state can be wiped in place,
+// returning it to the freshly-constructed state (modulo any internal
+// random stream, which keeps advancing so restarted runs stay
+// reproducible). The Restart wrapper requires it.
+type Resettable interface {
+	Policy
+	Reset()
+}
+
+// ---------------------------------------------------------------------------
+// SlidingWindowUCB
+
+// winEntry is one remembered play.
+type winEntry struct {
+	arm    int
+	reward float64
+}
+
+// SlidingWindowUCB is UCB1 computed over only the last Window plays: the
+// per-arm counts and sums that enter the index are those of the plays
+// still inside the window, so evidence older than W plays stops binding
+// and the policy re-explores arms whose windowed count has drained.
+type SlidingWindowUCB struct {
+	window int
+	// win is a ring of the last plays; head indexes the oldest entry.
+	win  []winEntry
+	head int
+	size int
+	// wPlays and wSums are the per-arm statistics over the window.
+	wPlays []int
+	wSums  []float64
+	// arms tracks lifetime statistics for Mean/Plays reporting.
+	arms []armStats
+	t    int
+	// Observed reward range for scale-free confidence radii.
+	minObs, maxObs float64
+	seen           bool
+}
+
+var _ Resettable = (*SlidingWindowUCB)(nil)
+
+// NewSlidingWindowUCB creates the policy over k arms with the given
+// window length in plays (zero selects DefaultWindow).
+func NewSlidingWindowUCB(k, window int) (*SlidingWindowUCB, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: k=%d", ErrNoArms, k)
+	}
+	if window == 0 {
+		window = DefaultWindow
+	}
+	if window < 1 {
+		return nil, fmt.Errorf("bandit: window %d must be at least 1", window)
+	}
+	return &SlidingWindowUCB{
+		window: window,
+		win:    make([]winEntry, 0, window),
+		wPlays: make([]int, k),
+		wSums:  make([]float64, k),
+		arms:   make([]armStats, k),
+	}, nil
+}
+
+// NumArms implements Policy.
+func (s *SlidingWindowUCB) NumArms() int { return len(s.arms) }
+
+// Plays implements Policy (lifetime plays, not windowed).
+func (s *SlidingWindowUCB) Plays(arm int) int { return s.arms[arm].plays }
+
+// Mean implements Policy (lifetime mean; WindowMean gives the drift view).
+func (s *SlidingWindowUCB) Mean(arm int) float64 { return s.arms[arm].mean() }
+
+// Window returns the configured window length.
+func (s *SlidingWindowUCB) Window() int { return s.window }
+
+// WindowPlays returns how many of the last Window plays hit arm.
+func (s *SlidingWindowUCB) WindowPlays(arm int) int { return s.wPlays[arm] }
+
+// WindowMean returns arm's empirical mean over the window (0 if absent).
+func (s *SlidingWindowUCB) WindowMean(arm int) float64 {
+	if s.wPlays[arm] == 0 {
+		return 0
+	}
+	return s.wSums[arm] / float64(s.wPlays[arm])
+}
+
+// Bounds returns arm's windowed lower and upper confidence bounds,
+// mean ± radius; an arm absent from the window reports (-Inf, +Inf).
+func (s *SlidingWindowUCB) Bounds(arm int) (lcb, ucb float64) {
+	r := s.radius(arm)
+	m := s.WindowMean(arm)
+	return m - r, m + r
+}
+
+func (s *SlidingWindowUCB) radius(arm int) float64 {
+	n := s.wPlays[arm]
+	if n == 0 {
+		return math.Inf(1)
+	}
+	scale := s.maxObs - s.minObs
+	if scale <= 0 {
+		scale = 1
+	}
+	inWin := s.size
+	return scale * math.Sqrt(2*math.Log(float64(inWin)+1)/float64(n))
+}
+
+// Select implements Policy: the arm maximizing windowed mean + radius,
+// lowest index first among arms absent from the window.
+func (s *SlidingWindowUCB) Select() int {
+	best, bestV := 0, math.Inf(-1)
+	for i := range s.arms {
+		v := s.WindowMean(i) + s.radius(i)
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// Update implements Policy: push the play into the window, evicting the
+// oldest once the window is full.
+func (s *SlidingWindowUCB) Update(arm int, reward float64) {
+	s.t++
+	s.arms[arm].plays++
+	s.arms[arm].sum += reward
+	if !s.seen {
+		s.minObs, s.maxObs, s.seen = reward, reward, true
+	} else {
+		s.minObs = math.Min(s.minObs, reward)
+		s.maxObs = math.Max(s.maxObs, reward)
+	}
+	if s.size == s.window {
+		old := s.win[s.head]
+		s.wPlays[old.arm]--
+		s.wSums[old.arm] -= old.reward
+		s.win[s.head] = winEntry{arm: arm, reward: reward}
+		s.head = (s.head + 1) % s.window
+	} else {
+		s.win = append(s.win, winEntry{arm: arm, reward: reward})
+		s.size++
+	}
+	s.wPlays[arm]++
+	s.wSums[arm] += reward
+}
+
+// Reset implements Resettable.
+func (s *SlidingWindowUCB) Reset() {
+	s.win = s.win[:0]
+	s.head, s.size, s.t = 0, 0, 0
+	for i := range s.arms {
+		s.arms[i] = armStats{}
+		s.wPlays[i] = 0
+		s.wSums[i] = 0
+	}
+	s.minObs, s.maxObs, s.seen = 0, 0, false
+}
+
+// ---------------------------------------------------------------------------
+// DiscountedUCB
+
+// dArm is one arm's discounted statistics.
+type dArm struct {
+	// dPlays and dSum are the gamma-discounted count and reward sum.
+	dPlays float64
+	dSum   float64
+}
+
+// DiscountedUCB keeps exponentially discounted counts and reward sums:
+// every update multiplies all arms' statistics by gamma before crediting
+// the played arm, so evidence fades with a half-life of about
+// ln 2 / (1 - gamma) plays — the smooth counterpart of the sliding
+// window.
+type DiscountedUCB struct {
+	gamma float64
+	d     []dArm
+	nTot  float64 // discounted total count, sum over arms
+	arms  []armStats
+	t     int
+	// Observed reward range for scale-free confidence radii.
+	minObs, maxObs float64
+	seen           bool
+}
+
+var _ Resettable = (*DiscountedUCB)(nil)
+
+// NewDiscountedUCB creates the policy over k arms with discount factor
+// gamma in (0, 1); zero selects DefaultDiscount.
+func NewDiscountedUCB(k int, gamma float64) (*DiscountedUCB, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: k=%d", ErrNoArms, k)
+	}
+	if gamma == 0 {
+		gamma = DefaultDiscount
+	}
+	if gamma <= 0 || gamma >= 1 || math.IsNaN(gamma) {
+		return nil, fmt.Errorf("bandit: discount %v out of (0, 1)", gamma)
+	}
+	return &DiscountedUCB{gamma: gamma, d: make([]dArm, k), arms: make([]armStats, k)}, nil
+}
+
+// NumArms implements Policy.
+func (u *DiscountedUCB) NumArms() int { return len(u.arms) }
+
+// Plays implements Policy (lifetime plays).
+func (u *DiscountedUCB) Plays(arm int) int { return u.arms[arm].plays }
+
+// Mean implements Policy (lifetime mean; DiscountedMean gives the drift
+// view).
+func (u *DiscountedUCB) Mean(arm int) float64 { return u.arms[arm].mean() }
+
+// Gamma returns the discount factor.
+func (u *DiscountedUCB) Gamma() float64 { return u.gamma }
+
+// DiscountedMean returns arm's discounted empirical mean (0 when its
+// discounted count has fully drained).
+func (u *DiscountedUCB) DiscountedMean(arm int) float64 {
+	if u.d[arm].dPlays <= ducbTiny {
+		return 0
+	}
+	return u.d[arm].dSum / u.d[arm].dPlays
+}
+
+// ducbTiny is the discounted count below which an arm counts as unplayed:
+// its radius becomes infinite and the policy must re-explore it.
+const ducbTiny = 1e-9
+
+// Bounds returns arm's discounted confidence bounds, mean ± radius.
+func (u *DiscountedUCB) Bounds(arm int) (lcb, ucb float64) {
+	r := u.radius(arm)
+	m := u.DiscountedMean(arm)
+	return m - r, m + r
+}
+
+func (u *DiscountedUCB) radius(arm int) float64 {
+	n := u.d[arm].dPlays
+	if n <= ducbTiny {
+		return math.Inf(1)
+	}
+	scale := u.maxObs - u.minObs
+	if scale <= 0 {
+		scale = 1
+	}
+	return scale * math.Sqrt(2*math.Log(u.nTot+1)/n)
+}
+
+// Select implements Policy: the arm maximizing discounted mean + radius,
+// lowest index first among drained arms.
+func (u *DiscountedUCB) Select() int {
+	best, bestV := 0, math.Inf(-1)
+	for i := range u.arms {
+		v := u.DiscountedMean(i) + u.radius(i)
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// Update implements Policy: discount every arm, then credit the play.
+func (u *DiscountedUCB) Update(arm int, reward float64) {
+	u.t++
+	u.arms[arm].plays++
+	u.arms[arm].sum += reward
+	if !u.seen {
+		u.minObs, u.maxObs, u.seen = reward, reward, true
+	} else {
+		u.minObs = math.Min(u.minObs, reward)
+		u.maxObs = math.Max(u.maxObs, reward)
+	}
+	for i := range u.d {
+		u.d[i].dPlays *= u.gamma
+		u.d[i].dSum *= u.gamma
+	}
+	u.nTot = u.nTot*u.gamma + 1
+	u.d[arm].dPlays++
+	u.d[arm].dSum += reward
+}
+
+// Reset implements Resettable.
+func (u *DiscountedUCB) Reset() {
+	for i := range u.arms {
+		u.arms[i] = armStats{}
+		u.d[i] = dArm{}
+	}
+	u.nTot, u.t = 0, 0
+	u.minObs, u.maxObs, u.seen = 0, 0, false
+}
+
+// ---------------------------------------------------------------------------
+// Page–Hinkley change-point detector
+
+// PageHinkley is a two-sided Page–Hinkley test over a stream of
+// observations: it accumulates the deviation of each observation from the
+// running mean (minus a per-step allowance Delta) in both directions and
+// alarms when either cumulative deviation exceeds its historical minimum
+// by more than Lambda — the classic sequential test for a mean shift.
+// Observations are expected in normalized [0, 1] units; the Restart
+// wrapper normalizes by its running observed range before feeding it.
+type PageHinkley struct {
+	// Delta is the per-step drift allowance; shifts smaller than Delta per
+	// step never alarm.
+	Delta float64
+	// Lambda is the alarm threshold on the cumulative statistic.
+	Lambda float64
+	// Warmup is the minimum number of observations before an alarm.
+	Warmup int
+
+	n    int
+	mean float64
+	// mUp/minUp detect an upward mean shift; mDn/minDn a downward one.
+	mUp, minUp float64
+	mDn, minDn float64
+}
+
+// NewPageHinkley builds a detector; zero parameters select the defaults.
+func NewPageHinkley(delta, lambda float64, warmup int) (*PageHinkley, error) {
+	if delta == 0 {
+		delta = DefaultPHDelta
+	}
+	if lambda == 0 {
+		lambda = DefaultPHLambda
+	}
+	if warmup == 0 {
+		warmup = DefaultPHWarmup
+	}
+	if delta < 0 || math.IsNaN(delta) || lambda <= 0 || math.IsNaN(lambda) || warmup < 1 {
+		return nil, fmt.Errorf("bandit: page-hinkley delta=%v lambda=%v warmup=%d invalid", delta, lambda, warmup)
+	}
+	return &PageHinkley{Delta: delta, Lambda: lambda, Warmup: warmup}, nil
+}
+
+// Observe feeds one observation and reports whether a change point was
+// detected. The caller decides what to do on detection (and typically
+// calls Reset).
+func (p *PageHinkley) Observe(x float64) bool {
+	p.n++
+	// Running mean BEFORE this observation enters it, per the classic
+	// formulation x_t - x̄_{t-1}; for the first observation the deviation
+	// is zero either way.
+	prevMean := p.mean
+	p.mean += (x - p.mean) / float64(p.n)
+	dev := x - prevMean
+	p.mUp += dev - p.Delta
+	if p.mUp < p.minUp {
+		p.minUp = p.mUp
+	}
+	p.mDn += -dev - p.Delta
+	if p.mDn < p.minDn {
+		p.minDn = p.mDn
+	}
+	if p.n < p.Warmup {
+		return false
+	}
+	return p.mUp-p.minUp > p.Lambda || p.mDn-p.minDn > p.Lambda
+}
+
+// Reset clears the detector for a fresh segment.
+func (p *PageHinkley) Reset() {
+	p.n, p.mean = 0, 0
+	p.mUp, p.minUp, p.mDn, p.minDn = 0, 0, 0, 0
+}
+
+// ---------------------------------------------------------------------------
+// Restart wrapper
+
+// Restart supervises any Resettable policy with per-arm Page–Hinkley
+// detectors over the observed rewards: when an arm's own reward stream
+// shifts, the inner policy's learning state is wiped in place and
+// learning restarts from scratch — restart-on-change over the paper's
+// successive elimination, which otherwise can never recover an
+// eliminated arm.
+//
+// The detectors are per arm, not over the pooled stream, because the
+// pooled stream's distribution also shifts whenever the POLICY changes
+// arms (e.g. the moment successive elimination commits to its winner);
+// monitoring each arm's conditionally-stationary stream separately — as
+// in monitored-UCB-style algorithms — alarms only on genuine
+// environment drift.
+type Restart struct {
+	inner Resettable
+	phs   []*PageHinkley // one detector per arm
+	// Observed reward range for normalizing detector input; survives
+	// restarts so the scale estimate keeps improving.
+	minObs, maxObs float64
+	seen           bool
+	restarts       int
+}
+
+var _ Policy = (*Restart)(nil)
+
+// NewRestart wraps inner with one detector per arm; proto supplies the
+// shared Delta/Lambda/Warmup configuration (nil selects defaults).
+func NewRestart(inner Resettable, proto *PageHinkley) (*Restart, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("bandit: restart needs an inner policy")
+	}
+	delta, lambda, warmup := 0.0, 0.0, 0
+	if proto != nil {
+		delta, lambda, warmup = proto.Delta, proto.Lambda, proto.Warmup
+	}
+	phs := make([]*PageHinkley, inner.NumArms())
+	for i := range phs {
+		ph, err := NewPageHinkley(delta, lambda, warmup)
+		if err != nil {
+			return nil, err
+		}
+		phs[i] = ph
+	}
+	return &Restart{inner: inner, phs: phs}, nil
+}
+
+// NumArms implements Policy.
+func (r *Restart) NumArms() int { return r.inner.NumArms() }
+
+// Plays implements Policy (plays since the last restart).
+func (r *Restart) Plays(arm int) int { return r.inner.Plays(arm) }
+
+// Mean implements Policy (mean since the last restart).
+func (r *Restart) Mean(arm int) float64 { return r.inner.Mean(arm) }
+
+// Select implements Policy.
+func (r *Restart) Select() int { return r.inner.Select() }
+
+// Inner exposes the supervised policy.
+func (r *Restart) Inner() Policy { return r.inner }
+
+// Detector exposes arm's change-point detector.
+func (r *Restart) Detector(arm int) *PageHinkley { return r.phs[arm] }
+
+// Restarts returns how many change points have fired.
+func (r *Restart) Restarts() int { return r.restarts }
+
+// Update implements Policy: forward the reward, then feed the played
+// arm's detector the normalized observation and restart the inner policy
+// on a change.
+func (r *Restart) Update(arm int, reward float64) {
+	r.inner.Update(arm, reward)
+	if !r.seen {
+		r.minObs, r.maxObs, r.seen = reward, reward, true
+	} else {
+		r.minObs = math.Min(r.minObs, reward)
+		r.maxObs = math.Max(r.maxObs, reward)
+	}
+	span := r.maxObs - r.minObs
+	norm := 0.5
+	if span > 0 {
+		norm = (reward - r.minObs) / span
+	}
+	if r.phs[arm].Observe(norm) {
+		r.inner.Reset()
+		for _, ph := range r.phs {
+			ph.Reset()
+		}
+		r.restarts++
+	}
+}
+
+// Reset implements Resettable: wipe the inner policy, the detectors, and
+// the restart counter (the observed range survives, as across restarts).
+func (r *Restart) Reset() {
+	r.inner.Reset()
+	for _, ph := range r.phs {
+		ph.Reset()
+	}
+	r.restarts = 0
+}

@@ -1,0 +1,291 @@
+package bandit
+
+import (
+	"math"
+	"testing"
+)
+
+// driftEnv is a deterministic two-phase environment: arm bestA is optimal
+// before the change point, bestB after. A tiny per-step wobble keeps
+// rewards distinct without randomness.
+type driftEnv struct {
+	k, change, bestA, bestB int
+}
+
+func (d driftEnv) reward(arm, step int) float64 {
+	best := d.bestA
+	if step >= d.change {
+		best = d.bestB
+	}
+	r := 1.0
+	if arm == best {
+		r = 5.0
+	}
+	return r + 0.05*math.Sin(float64(step*7+arm))
+}
+
+// tailFrac plays p for horizon steps in env and returns the fraction of
+// the final quarter's plays that hit the post-change optimum.
+func tailFrac(p Policy, d driftEnv, horizon int) float64 {
+	hits, tail := 0, 0
+	for i := 0; i < horizon; i++ {
+		arm := p.Select()
+		p.Update(arm, d.reward(arm, i))
+		if i >= horizon*3/4 {
+			tail++
+			if arm == d.bestB {
+				hits++
+			}
+		}
+	}
+	return float64(hits) / float64(tail)
+}
+
+// TestDriftPoliciesRecoverFromShift: after a mid-stream optimum change,
+// each drift-aware policy must re-converge on the new best arm, while the
+// paper's successive elimination — having eliminated it — cannot.
+func TestDriftPoliciesRecoverFromShift(t *testing.T) {
+	const horizon = 2000
+	env := driftEnv{k: 4, change: horizon / 2, bestA: 0, bestB: 3}
+
+	sw, err := NewSlidingWindowUCB(env.k, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	du, err := NewDiscountedUCB(env.k, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := NewSuccessiveElimination(env.k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rse, err := NewRestart(se, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, p := range map[string]Policy{"sw-ucb": sw, "d-ucb": du, "restart:se": rse} {
+		if frac := tailFrac(p, env, horizon); frac < 0.7 {
+			t.Errorf("%s played the new optimum only %.0f%% of the tail, want >= 70%%", name, frac*100)
+		}
+	}
+	if rse.Restarts() == 0 {
+		t.Error("restart wrapper never fired on a 5x mean shift")
+	}
+
+	frozen, err := NewSuccessiveElimination(env.k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := tailFrac(frozen, env, horizon); frac > 0.3 {
+		t.Errorf("stationary SE recovered (%.0f%% tail) — drift env too easy to discriminate", frac*100)
+	}
+}
+
+// TestSlidingWindowForgets: evidence older than the window must stop
+// binding — windowed counts sum to at most the window length.
+func TestSlidingWindowForgets(t *testing.T) {
+	sw, err := NewSlidingWindowUCB(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		sw.Update(0, 1)
+	}
+	for i := 0; i < 10; i++ {
+		sw.Update(1, 2)
+	}
+	if got := sw.WindowPlays(0); got != 0 {
+		t.Fatalf("arm 0 still has %d windowed plays after full eviction", got)
+	}
+	if got := sw.WindowPlays(1); got != 10 {
+		t.Fatalf("arm 1 windowed plays = %d, want 10", got)
+	}
+	if sw.Plays(0) != 50 {
+		t.Fatalf("lifetime plays lost: %d", sw.Plays(0))
+	}
+	if m := sw.WindowMean(1); m != 2 {
+		t.Fatalf("windowed mean = %v, want 2", m)
+	}
+}
+
+// TestDiscountedUCBFades: discounted counts decay geometrically, so an
+// arm unplayed for long regains an (eventually infinite) radius and gets
+// re-explored.
+func TestDiscountedUCBFades(t *testing.T) {
+	du, err := NewDiscountedUCB(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	du.Update(0, 4)
+	n0 := du.d[0].dPlays
+	for i := 0; i < 40; i++ {
+		du.Update(1, 1)
+	}
+	if du.d[0].dPlays >= n0*0.001 {
+		t.Fatalf("arm 0 discounted count %v barely decayed from %v", du.d[0].dPlays, n0)
+	}
+	lcb, ucb := du.Bounds(0)
+	if !math.IsInf(ucb, 1) || !math.IsInf(lcb, -1) {
+		t.Fatalf("fully drained arm should report infinite bounds, got (%v, %v)", lcb, ucb)
+	}
+	if du.Select() != 0 {
+		t.Fatal("drained arm must be re-explored")
+	}
+}
+
+// TestPageHinkleyDetectsShift: a clean mean shift alarms shortly after
+// the change point; a stationary stream never alarms.
+func TestPageHinkleyDetectsShift(t *testing.T) {
+	ph, err := NewPageHinkley(0.005, 1.0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := -1
+	for i := 0; i < 400; i++ {
+		x := 0.2
+		if i >= 200 {
+			x = 0.8
+		}
+		x += 0.02 * math.Sin(float64(i))
+		if ph.Observe(x) {
+			fired = i
+			break
+		}
+	}
+	if fired < 200 || fired > 260 {
+		t.Fatalf("detector fired at %d, want shortly after the shift at 200", fired)
+	}
+
+	ph.Reset()
+	for i := 0; i < 2000; i++ {
+		if ph.Observe(0.5 + 0.02*math.Sin(float64(i))) {
+			t.Fatalf("false alarm at %d on a stationary stream", i)
+		}
+	}
+}
+
+// TestResetRestoresFreshDecisions: Reset must return deterministic
+// policies to fresh-equivalent behavior.
+func TestResetRestoresFreshDecisions(t *testing.T) {
+	builders := map[string]func() Resettable{
+		"se": func() Resettable {
+			p, err := NewSuccessiveElimination(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		},
+		"ucb1": func() Resettable {
+			p, err := NewUCB1(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		},
+		"sw-ucb": func() Resettable {
+			p, err := NewSlidingWindowUCB(4, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		},
+		"d-ucb": func() Resettable {
+			p, err := NewDiscountedUCB(4, 0.9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		},
+	}
+	for name, build := range builders {
+		used, fresh := build(), build()
+		for i := 0; i < 100; i++ {
+			arm := used.Select()
+			used.Update(arm, float64(arm)+0.1*float64(i%7))
+		}
+		used.Reset()
+		for i := 0; i < 60; i++ {
+			a, b := used.Select(), fresh.Select()
+			if a != b {
+				t.Fatalf("%s step %d: reset policy played %d, fresh played %d", name, i, a, b)
+			}
+			r := float64(a) + 0.2*float64(i%5)
+			used.Update(a, r)
+			fresh.Update(b, r)
+		}
+	}
+}
+
+// TestExp3ResetKeepsStream: Reset wipes Exp3's weights and statistics but
+// must not rewind the owned random stream (the snapshot draw counter
+// depends on it only ever advancing).
+func TestExp3ResetKeepsStream(t *testing.T) {
+	e, err := NewExp3Seeded(3, 0.1, 0.01, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		arm := e.Select()
+		e.Update(arm, float64(arm))
+	}
+	draws := e.draws
+	e.Reset()
+	if e.draws != draws {
+		t.Fatalf("Reset rewound the draw counter: %d -> %d", draws, e.draws)
+	}
+	for i, w := range e.weights {
+		if w != 1 || e.plays[i] != 0 || e.sums[i] != 0 {
+			t.Fatalf("arm %d not wiped: w=%v plays=%d sum=%v", i, w, e.plays[i], e.sums[i])
+		}
+	}
+	// The wiped policy must still round-trip through a snapshot.
+	q, err := RestorePolicy(e.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		a, b := e.Select(), q.Select()
+		if a != b {
+			t.Fatalf("post-reset round-trip diverged at %d: %d vs %d", i, a, b)
+		}
+		e.Update(a, 1)
+		q.Update(b, 1)
+	}
+}
+
+// TestDriftConstructorValidation: table-driven rejection cases for the
+// new constructors.
+func TestDriftConstructorValidation(t *testing.T) {
+	if _, err := NewSlidingWindowUCB(0, 8); err == nil {
+		t.Error("sw-ucb accepted zero arms")
+	}
+	if _, err := NewSlidingWindowUCB(3, -1); err == nil {
+		t.Error("sw-ucb accepted negative window")
+	}
+	for _, gamma := range []float64{-0.5, 1, 1.5, math.NaN()} {
+		if _, err := NewDiscountedUCB(3, gamma); err == nil {
+			t.Errorf("d-ucb accepted gamma=%v", gamma)
+		}
+	}
+	if _, err := NewDiscountedUCB(0, 0.9); err == nil {
+		t.Error("d-ucb accepted zero arms")
+	}
+	for _, c := range []struct {
+		delta, lambda float64
+		warmup        int
+	}{
+		{-0.1, 1, 5},
+		{0.01, -1, 5},
+		{0.01, 1, -2},
+		{math.NaN(), 1, 5},
+		{0.01, math.NaN(), 5},
+	} {
+		if _, err := NewPageHinkley(c.delta, c.lambda, c.warmup); err == nil {
+			t.Errorf("page-hinkley accepted delta=%v lambda=%v warmup=%d", c.delta, c.lambda, c.warmup)
+		}
+	}
+	if _, err := NewRestart(nil, nil); err == nil {
+		t.Error("restart accepted nil inner policy")
+	}
+}

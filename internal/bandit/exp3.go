@@ -24,6 +24,14 @@ type Exp3 struct {
 	// far any arm can fall behind.
 	alpha float64
 	rng   *rand.Rand
+	// seed/draws make a seeded instance snapshottable: the rng is owned
+	// (rebuilt from seed on restore) and draws counts Float64 consumptions
+	// so the stream position can be replayed. seeded is false when the rng
+	// came from the caller, in which case snapshots are unsupported (like
+	// EpsilonGreedy).
+	seed   int64
+	draws  int
+	seeded bool
 	// Observed reward range for scale-free loss normalization.
 	minObs, maxObs float64
 	seen           bool
@@ -33,12 +41,37 @@ type Exp3 struct {
 	lastArm        int
 }
 
-var _ Policy = (*Exp3)(nil)
+var _ Resettable = (*Exp3)(nil)
+
+// Default Exp3.S parameters. DefaultExp3Alpha was previously hardcoded
+// inside NewExp3; it is surfaced here so callers (and the experiment
+// config) can see and override the mixing rate.
+const (
+	DefaultExp3Gamma = 0.1
+	DefaultExp3Alpha = 0.002
+)
 
 // NewExp3 creates the policy over k arms with exploration fraction gamma
-// (zero selects 0.1) and the default fixed-share rate.
+// (zero selects DefaultExp3Gamma) and the DefaultExp3Alpha fixed-share
+// rate. Use NewExp3S to choose the mixing rate explicitly.
 func NewExp3(k int, gamma float64, rng *rand.Rand) (*Exp3, error) {
-	return NewExp3S(k, gamma, 0.002, rng)
+	return NewExp3S(k, gamma, DefaultExp3Alpha, rng)
+}
+
+// NewExp3Seeded creates a self-seeded Exp3.S that owns its random stream,
+// making it snapshottable: the snapshot records the seed and the number
+// of draws consumed, and restore replays the stream to the same position.
+// Alpha < 0 selects DefaultExp3Alpha (pass 0 for classic Exp3).
+func NewExp3Seeded(k int, gamma, alpha float64, seed int64) (*Exp3, error) {
+	if alpha < 0 {
+		alpha = DefaultExp3Alpha
+	}
+	e, err := NewExp3S(k, gamma, alpha, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	e.seed, e.seeded = seed, true
+	return e, nil
 }
 
 // NewExp3S creates the fixed-share variant with explicit mixing rate
@@ -48,7 +81,7 @@ func NewExp3S(k int, gamma, alpha float64, rng *rand.Rand) (*Exp3, error) {
 		return nil, fmt.Errorf("%w: k=%d", ErrNoArms, k)
 	}
 	if gamma == 0 {
-		gamma = 0.1
+		gamma = DefaultExp3Gamma
 	}
 	if gamma < 0 || gamma > 1 || math.IsNaN(gamma) {
 		return nil, fmt.Errorf("bandit: gamma %v out of (0, 1]", gamma)
@@ -99,10 +132,18 @@ func (e *Exp3) probs() []float64 {
 	return out
 }
 
+// Gamma returns the exploration fraction.
+func (e *Exp3) Gamma() float64 { return e.gamma }
+
+// Alpha returns the fixed-share mixing rate.
+func (e *Exp3) Alpha() float64 { return e.alpha }
+
 // Select implements Policy: sample an arm from the exponential-weights
-// mixture.
+// mixture. Exactly one Float64 is consumed per call — the invariant the
+// snapshot draw counter relies on.
 func (e *Exp3) Select() int {
 	p := e.probs()
+	e.draws++
 	u := e.rng.Float64()
 	acc := 0.0
 	for i, pi := range p {
@@ -161,5 +202,19 @@ func (e *Exp3) Update(arm int, reward float64) {
 			e.weights[i] /= 1e12
 		}
 	}
+	e.lastArm, e.lastProb = -1, 0
+}
+
+// Reset implements Resettable: wipe the learning state back to uniform
+// weights. The random stream is NOT rewound — it keeps advancing, so a
+// restarted run stays reproducible and snapshot draw counting stays
+// valid.
+func (e *Exp3) Reset() {
+	for i := range e.weights {
+		e.weights[i] = 1
+		e.plays[i] = 0
+		e.sums[i] = 0
+	}
+	e.minObs, e.maxObs, e.seen = 0, 0, false
 	e.lastArm, e.lastProb = -1, 0
 }

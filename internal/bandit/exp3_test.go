@@ -29,6 +29,55 @@ func TestExp3Validation(t *testing.T) {
 	}
 }
 
+// TestExp3SRejectionTable: table-driven rejection cases for the explicit
+// gamma/alpha constructors — the fix for NewExp3's silently hardcoded
+// mixing rate includes validating both parameters loudly.
+func TestExp3SRejectionTable(t *testing.T) {
+	cases := []struct {
+		name         string
+		k            int
+		gamma, alpha float64
+	}{
+		{"zero arms", 0, 0.1, 0.01},
+		{"negative arms", -3, 0.1, 0.01},
+		{"negative gamma", 3, -0.5, 0.01},
+		{"gamma above one", 3, 1.5, 0.01},
+		{"NaN gamma", 3, math.NaN(), 0.01},
+		{"negative alpha", 3, 0.1, -0.01},
+		{"alpha at one", 3, 0.1, 1},
+		{"alpha above one", 3, 0.1, 1.5},
+		{"NaN alpha", 3, 0.1, math.NaN()},
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range cases {
+		if _, err := NewExp3S(c.k, c.gamma, c.alpha, rng); err == nil {
+			t.Errorf("%s: NewExp3S(%d, %v, %v) accepted", c.name, c.k, c.gamma, c.alpha)
+		}
+		// The seeded constructor maps alpha<0 to the default, so only
+		// genuinely invalid alphas must reject there.
+		alpha := c.alpha
+		if alpha < 0 && !math.IsNaN(alpha) {
+			continue
+		}
+		if _, err := NewExp3Seeded(c.k, c.gamma, alpha, 1); err == nil {
+			t.Errorf("%s: NewExp3Seeded(%d, %v, %v) accepted", c.name, c.k, c.gamma, alpha)
+		}
+	}
+	// Boundary acceptances: gamma=1 (pure exploration) and alpha=0
+	// (classic Exp3) are legal.
+	if _, err := NewExp3S(3, 1, 0, rng); err != nil {
+		t.Errorf("NewExp3S(3, 1, 0) rejected: %v", err)
+	}
+	// NewExp3 still defaults the mixing rate, now via the named constant.
+	e, err := NewExp3(3, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Alpha() != DefaultExp3Alpha {
+		t.Errorf("NewExp3 alpha = %v, want DefaultExp3Alpha", e.Alpha())
+	}
+}
+
 func TestExp3FindsBestArmStochastic(t *testing.T) {
 	e, err := NewExp3(5, 0.1, rand.New(rand.NewSource(2)))
 	if err != nil {

@@ -1,0 +1,191 @@
+package bandit
+
+import (
+	"testing"
+
+	"mecoffload/internal/rnd"
+)
+
+// Metamorphic invariance: relabeling the arms must not change what the
+// policy does, only what it calls it. For the deterministic argmax
+// policies (UCB1, SW-UCB, D-UCB, Restart over them) the property is
+// exact per step once each arm has been primed once in a label-agnostic
+// order: if run B sees arm sigma(a) whenever run A would see arm a, then
+// B's t-th decision is sigma(A's t-th decision). Exp3 is excluded — its
+// CDF-inversion sampling walks the label order, so a permutation changes
+// which arm a given uniform draw lands on.
+//
+// Rewards come from a pinned rnd stream shared step-by-step between the
+// two runs (common random numbers), keyed by the underlying arm so the
+// permuted run observes exactly the permuted reward function.
+
+// metaReward returns the deterministic reward of underlying arm u at
+// step i: distinct per arm, drifting mid-stream, with shared per-step
+// noise from the derived seed (amp 0 disables the noise).
+func metaReward(u, i int, amp float64, noise []float64) float64 {
+	base := float64(u + 1)
+	if i >= 150 {
+		base = float64(7 - u)
+	}
+	return base + amp*noise[i]
+}
+
+func metaNoise(steps int) []float64 {
+	rng := rnd.New(11, "metamorphic")
+	out := make([]float64, steps)
+	for i := range out {
+		out[i] = rng.Float64()
+	}
+	return out
+}
+
+// prime plays every underlying arm exactly once, in underlying order, so
+// both runs leave the forced-exploration phase with identical per-arm
+// statistics regardless of label order.
+func prime(p Policy, perm []int, amp float64, noise []float64) {
+	for u := 0; u < p.NumArms(); u++ {
+		p.Update(perm[u], metaReward(u, 0, amp, noise))
+	}
+}
+
+func TestMetamorphicArmRelabeling(t *testing.T) {
+	const k, steps = 5, 300
+	perm := []int{3, 0, 4, 1, 2} // label of underlying arm u in run B
+	identity := []int{0, 1, 2, 3, 4}
+	inv := make([]int, k)
+	for u, l := range perm {
+		inv[l] = u
+	}
+	noise := metaNoise(steps + 1)
+
+	builders := map[string]struct {
+		build func() Policy
+		// amp is the shared per-step noise amplitude. The restart case
+		// runs noiseless: after a change point fires, the two runs
+		// re-explore at offset steps and would bank different noise into
+		// otherwise-identical arm means, perturbing near-ties forever.
+		amp float64
+	}{
+		"ucb1": {amp: 0.1, build: func() Policy {
+			p, err := NewUCB1(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}},
+		"sw-ucb": {amp: 0.1, build: func() Policy {
+			// Window of 64 < steps exercises eviction; priming in
+			// underlying order keeps eviction order aligned across runs.
+			p, err := NewSlidingWindowUCB(k, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}},
+		"d-ucb": {amp: 0.1, build: func() Policy {
+			p, err := NewDiscountedUCB(k, 0.98)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}},
+		"restart:ucb1": {amp: 0, build: func() Policy {
+			u, err := NewUCB1(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := NewRestart(u, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}},
+	}
+	for name, tc := range builders {
+		t.Run(name, func(t *testing.T) {
+			amp := tc.amp
+			a, b := tc.build(), tc.build()
+			prime(a, identity, amp, noise)
+			prime(b, perm, amp, noise)
+			// A fired change point wipes the inner policy, whose forced
+			// re-exploration then walks LABEL order — so decisions may
+			// legitimately diverge for up to ~k steps after a restart
+			// before the argmax re-aligns on underlying values.
+			ra, isRestart := a.(*Restart)
+			rb, _ := b.(*Restart)
+			grace, lastRestarts := 0, 0
+			for i := 1; i <= steps; i++ {
+				armA := a.Select()
+				armB := b.Select()
+				if isRestart {
+					n := ra.Restarts()
+					if m := rb.Restarts(); m > n {
+						n = m
+					}
+					if n != lastRestarts {
+						lastRestarts, grace = n, 2*k
+					}
+				}
+				if grace > 0 {
+					grace--
+				} else if want := perm[armA]; armB != want {
+					t.Fatalf("step %d: run A played %d, so run B must play %d, got %d",
+						i, armA, want, armB)
+				}
+				a.Update(armA, metaReward(armA, i, amp, noise))
+				b.Update(armB, metaReward(inv[armB], i, amp, noise))
+			}
+			if isRestart {
+				if ra.Restarts() == 0 || rb.Restarts() == 0 {
+					t.Fatalf("restart never fired (A=%d, B=%d) — the drift went undetected", ra.Restarts(), rb.Restarts())
+				}
+			}
+		})
+	}
+}
+
+// TestMetamorphicSERelabeling: successive elimination's round-robin
+// cursor walks label order, so per-step equality does not hold — but the
+// learning OUTCOME must commute with the permutation: the surviving arm
+// set and the best arm map through sigma, and per-arm play counts match
+// on underlying arms.
+func TestMetamorphicSERelabeling(t *testing.T) {
+	const k, steps = 5, 400
+	perm := []int{3, 0, 4, 1, 2}
+	noise := metaNoise(steps + 1)
+
+	run := func(labelOf []int) *SuccessiveElimination {
+		se, err := NewSuccessiveElimination(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inv := make([]int, k)
+		for u, l := range labelOf {
+			inv[l] = u
+		}
+		for i := 1; i <= steps; i++ {
+			label := se.Select()
+			se.Update(label, metaReward(inv[label], i, 0.1, noise))
+		}
+		return se
+	}
+	a := run([]int{0, 1, 2, 3, 4})
+	b := run(perm)
+	if a.NumActive() != b.NumActive() {
+		t.Fatalf("surviving arm counts differ: %d vs %d", a.NumActive(), b.NumActive())
+	}
+	for u := 0; u < k; u++ {
+		if a.Active(u) != b.Active(perm[u]) {
+			t.Errorf("underlying arm %d: active %v in A but label %d active %v in B",
+				u, a.Active(u), perm[u], b.Active(perm[u]))
+		}
+		if a.Plays(u) != b.Plays(perm[u]) {
+			t.Errorf("underlying arm %d: %d plays in A, %d in B",
+				u, a.Plays(u), b.Plays(perm[u]))
+		}
+	}
+	if perm[a.BestArm()] != b.BestArm() {
+		t.Errorf("best arm %d in A should map to %d, B says %d",
+			a.BestArm(), perm[a.BestArm()], b.BestArm())
+	}
+}

@@ -1,0 +1,97 @@
+package bandit
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse builds a policy over k arms from a CLI spec, the grammar behind
+// the -bandit flag in arsim, mecsim, and arserved:
+//
+//	se                  successive elimination (the paper's Algorithm 3)
+//	ucb1                stationary UCB1
+//	sw-ucb[:window]     sliding-window UCB (default window DefaultWindow)
+//	d-ucb[:gamma]       discounted UCB (default DefaultDiscount)
+//	exp3s[:gamma[,alpha]]  seeded Exp3.S (defaults DefaultExp3Gamma/Alpha)
+//	restart:<inner>     Page–Hinkley restart wrapper over any inner spec
+//	                    except exp3s-on-external-rng (all of the above work)
+//
+// Every policy Parse returns is snapshottable, so any spec works with
+// arserved checkpoints and cluster shards. seed feeds only exp3s; the
+// other policies are deterministic.
+func Parse(spec string, k int, seed int64) (Policy, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("bandit: empty policy spec")
+	}
+	name, arg := spec, ""
+	if i := strings.Index(spec, ":"); i >= 0 {
+		name, arg = spec[:i], spec[i+1:]
+	}
+	switch name {
+	case "se":
+		if arg != "" {
+			return nil, fmt.Errorf("bandit: spec %q: se takes no parameter", spec)
+		}
+		return NewSuccessiveElimination(k)
+	case "ucb1":
+		if arg != "" {
+			return nil, fmt.Errorf("bandit: spec %q: ucb1 takes no parameter", spec)
+		}
+		return NewUCB1(k)
+	case "sw-ucb":
+		window := 0
+		if arg != "" {
+			w, err := strconv.Atoi(arg)
+			if err != nil {
+				return nil, fmt.Errorf("bandit: spec %q: bad window: %v", spec, err)
+			}
+			window = w
+		}
+		return NewSlidingWindowUCB(k, window)
+	case "d-ucb":
+		gamma := 0.0
+		if arg != "" {
+			g, err := strconv.ParseFloat(arg, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bandit: spec %q: bad gamma: %v", spec, err)
+			}
+			gamma = g
+		}
+		return NewDiscountedUCB(k, gamma)
+	case "exp3s":
+		gamma, alpha := 0.0, -1.0
+		if arg != "" {
+			parts := strings.SplitN(arg, ",", 2)
+			g, err := strconv.ParseFloat(parts[0], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bandit: spec %q: bad gamma: %v", spec, err)
+			}
+			gamma = g
+			if len(parts) == 2 {
+				a, err := strconv.ParseFloat(parts[1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bandit: spec %q: bad alpha: %v", spec, err)
+				}
+				alpha = a
+			}
+		}
+		return NewExp3Seeded(k, gamma, alpha, seed)
+	case "restart":
+		if arg == "" {
+			return nil, fmt.Errorf("bandit: spec %q: restart needs an inner spec, e.g. restart:se", spec)
+		}
+		pol, err := Parse(arg, k, seed)
+		if err != nil {
+			return nil, err
+		}
+		inner, ok := pol.(Resettable)
+		if !ok {
+			return nil, fmt.Errorf("bandit: spec %q: inner policy %T is not resettable", spec, pol)
+		}
+		return NewRestart(inner, nil)
+	default:
+		return nil, fmt.Errorf("bandit: unknown policy spec %q (want se|ucb1|sw-ucb|d-ucb|exp3s|restart:<inner>)", spec)
+	}
+}

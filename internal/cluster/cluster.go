@@ -28,6 +28,13 @@ type Config struct {
 	DynamicRR     sim.DynamicRROptions
 	SlotLengthMS  float64
 	StepChecker   sim.StepChecker
+	// Drift, when non-nil, is the scripted non-stationarity program in
+	// GLOBAL station ids. Outages and same-shard handovers run inside
+	// the owning shard's planner; handovers crossing a partition edge
+	// are applied by the cluster clock through the migration handoff, so
+	// the decision stream stays identical to a single engine running the
+	// same script (the cluster parity contract extends to drift).
+	Drift *sim.Drift
 	// TickInterval drives the cluster clock: shards always run with
 	// manual ticks, and the cluster advances them in lockstep so slot
 	// rewards aggregate globally. Zero means manual Tick (tests, replay).
@@ -129,6 +136,11 @@ type Cluster struct {
 	mu          sync.Mutex
 	slot        int
 	manifestGen uint64
+	// crossHandovers are the drift handovers whose endpoints live in
+	// different shards, sorted by slot; crossCur is the forward-only
+	// cursor the clock advances (mu-guarded).
+	crossHandovers []sim.Handover
+	crossCur       int
 	// tickErrs and tickAdmitted are tickLocked's reusable per-slot
 	// scratch (mu-guarded): the fan-out error vector and the global
 	// reward-aggregation id list, grown once and recycled every slot.
@@ -232,8 +244,23 @@ func New(cfg Config) (*Cluster, error) {
 		for l, g := range part {
 			nd.localOf[g] = l
 		}
+		c.nodes = append(c.nodes, nd)
+	}
+
+	// Split the drift script across the shards (global ids validate
+	// against the full topology; each shard re-validates its local
+	// slice at engine construction).
+	var shardDrift []*sim.Drift
+	if cfg.Drift != nil {
+		if err := cfg.Drift.Validate(cfg.Net.NumStations()); err != nil {
+			return nil, fmt.Errorf("cluster: drift script: %w", err)
+		}
+		shardDrift, c.crossHandovers = splitDrift(cfg.Drift, owner, c.nodes)
+	}
+
+	for k, nd := range c.nodes {
 		scfg := serve.Config{
-			Net:                subnet,
+			Net:                nd.subnet,
 			SchedulerName:      cfg.SchedulerName,
 			DynamicRR:          cfg.DynamicRR,
 			TickInterval:       0, // the cluster owns the clock
@@ -255,12 +282,14 @@ func New(cfg Config) (*Cluster, error) {
 		if restores != nil {
 			scfg.Restore = restores[k]
 		}
+		if shardDrift != nil {
+			scfg.Drift = shardDrift[k]
+		}
 		eng, err := serve.New(scfg)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: shard %d engine: %w", k, err)
 		}
 		nd.eng = eng
-		c.nodes = append(c.nodes, nd)
 	}
 	return c, nil
 }
@@ -317,6 +346,12 @@ func (c *Cluster) Tick() error {
 }
 
 func (c *Cluster) tickLocked() error {
+	// Cross-partition handovers fire before the shards tick, so a
+	// request handed over at slot t is schedulable at its new station in
+	// slot t — the same slot a single engine's drift script re-points it.
+	if c.crossCur < len(c.crossHandovers) {
+		c.applyCrossHandoversLocked()
+	}
 	if cap(c.tickErrs) < len(c.nodes) {
 		c.tickErrs = make([]error, len(c.nodes))
 	}

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"sort"
+
+	"mecoffload/internal/sim"
+)
+
+// splitDrift partitions a global-id drift script across the shards.
+// Outages and same-shard handovers translate to shard-local station ids
+// and run inside that shard's planner, exactly as they would in a single
+// engine. Handovers whose From and To stations live in different shards
+// cannot be expressed by any one planner — those return separately,
+// sorted by slot, for the cluster clock to apply through the migration
+// handoff (applyCrossHandoversLocked).
+func splitDrift(d *sim.Drift, owner []int, nodes []*shardNode) (perShard []*sim.Drift, cross []sim.Handover) {
+	perShard = make([]*sim.Drift, len(nodes))
+	shardDrift := func(k int) *sim.Drift {
+		if perShard[k] == nil {
+			perShard[k] = &sim.Drift{}
+		}
+		return perShard[k]
+	}
+	for _, o := range d.Outages {
+		k := owner[o.Station]
+		lo := o
+		lo.Station = nodes[k].localOf[o.Station]
+		sd := shardDrift(k)
+		sd.Outages = append(sd.Outages, lo)
+	}
+	for _, h := range d.Handovers {
+		from, to := owner[h.From], owner[h.To]
+		if from != to {
+			cross = append(cross, h)
+			continue
+		}
+		lh := h
+		lh.From = nodes[from].localOf[h.From]
+		lh.To = nodes[from].localOf[h.To]
+		sd := shardDrift(from)
+		sd.Handovers = append(sd.Handovers, lh)
+	}
+	sort.SliceStable(cross, func(i, j int) bool { return cross[i].Slot < cross[j].Slot })
+	return perShard, cross
+}
+
+// applyCrossHandoversLocked fires every cross-partition handover due at
+// the current slot, before the shards tick: each pending request at the
+// From station is extracted from its owning shard and re-submitted at
+// the To station's shard with its deadline shrunk by the time already
+// waited — the same two-phase handoff migration uses, so the request
+// keeps its global id and no budget is gained or lost by the move. A
+// single engine re-points such requests in place with their arrival
+// clock intact; shrinking the deadline by the elapsed wait leaves the
+// re-homed request the identical remaining budget, which is what keeps
+// decision dumps parity-comparable across shard counts
+// (TestClusterHandoverAcrossPartition pins this).
+func (c *Cluster) applyCrossHandoversLocked() {
+	for c.crossCur < len(c.crossHandovers) && c.crossHandovers[c.crossCur].Slot <= c.slot {
+		h := c.crossHandovers[c.crossCur]
+		c.crossCur++
+		if h.Slot < c.slot {
+			continue // stale: the cluster restored past this slot
+		}
+		src := c.nodes[c.owner[h.From]]
+		dst := c.nodes[c.owner[h.To]]
+		if !src.eng.Alive() || !dst.eng.Alive() {
+			continue
+		}
+		fromLocal, ok := src.localOf[h.From]
+		if !ok {
+			continue
+		}
+		// Ring residue must be visible: a request batch-submitted just
+		// before this tick hands over in a single engine (its loop drains
+		// the ring before the slot's drift transitions fire).
+		if err := src.eng.Flush(); err != nil {
+			c.cfg.Logf("cluster: handover %d->%d flush: %v", h.From, h.To, err)
+		}
+		snap, err := src.eng.Snapshot()
+		if err != nil {
+			c.cfg.Logf("cluster: handover %d->%d snapshot: %v", h.From, h.To, err)
+			continue
+		}
+		// Snapshot order is not deterministic; extraction order must be
+		// (it fixes the target shard's submission order).
+		var exts []uint64
+		for _, cr := range snap.Requests {
+			if !cr.Running && cr.Spec.AccessStation == fromLocal {
+				exts = append(exts, cr.ExternalID)
+			}
+		}
+		sort.Slice(exts, func(i, j int) bool { return exts[i] < exts[j] })
+		for _, ext := range exts {
+			spec, arrival, err := src.eng.Extract(ext)
+			if err != nil {
+				continue // settled between Snapshot and Extract
+			}
+			waited := c.slot - arrival
+			if waited < 0 {
+				waited = 0
+			}
+			g, hasG := c.router.globalOf(src.idx, ext)
+			spec.AccessStation = h.To
+			spec.DeadlineMS = shrinkDeadline(spec, waited, c.cfg.SlotLengthMS)
+			if spec.DeadlineMS <= 0 {
+				// Out of budget: expire where it waited, as it would have
+				// in a single engine.
+				spec.AccessStation = h.From
+				spec.DeadlineMS = c.cfg.SlotLengthMS / 2
+				if rext, _, rerr := src.eng.Submit(c.localSpec(src.idx, spec, nil)); rerr == nil && hasG {
+					c.router.rebind(g, src.idx, rext, false)
+				}
+				continue
+			}
+			next, _, err := dst.eng.Submit(c.localSpec(dst.idx, spec, nil))
+			if err != nil {
+				// Compensate: back to the source under its old station so
+				// the request is never lost mid-handover.
+				spec.AccessStation = h.From
+				if rext, _, rerr := src.eng.Submit(c.localSpec(src.idx, spec, nil)); rerr == nil && hasG {
+					c.router.rebind(g, src.idx, rext, false)
+				} else if rerr != nil {
+					c.cfg.Logf("cluster: handover %d->%d lost request %d (target: %v, source: %v)",
+						h.From, h.To, ext, err, rerr)
+				}
+				continue
+			}
+			if hasG {
+				c.router.rebind(g, dst.idx, next, false)
+			}
+			src.migratedOut.Add(1)
+			dst.migratedIn.Add(1)
+		}
+	}
+}

@@ -60,9 +60,11 @@ func (c *Cluster) MigratedCounts() (in, out []uint64) {
 	return in, out
 }
 
-// freeFractions returns each shard's spare-capacity fraction from its
-// engine's station gauges; a shard with no reported capacity counts as
-// fully loaded so it never attracts migrations.
+// freeFractions returns each shard's spare-capacity fraction: occupancy
+// from its engine's station gauges against the sub-network's EFFECTIVE
+// capacities, so a shard mid-outage stops attracting migrations instead
+// of advertising its dark stations' nominal MHz. A shard with no
+// effective capacity counts as fully loaded.
 func (c *Cluster) freeFractions() []float64 {
 	out := make([]float64, len(c.nodes))
 	for k, nd := range c.nodes {
@@ -72,7 +74,7 @@ func (c *Cluster) freeFractions() []float64 {
 		var used, cap float64
 		for _, g := range nd.eng.Gauges() {
 			used += g.UsedMHz
-			cap += g.CapacityMHz
+			cap += nd.subnet.Capacity(g.Station)
 		}
 		if cap > 0 {
 			out[k] = (cap - used) / cap

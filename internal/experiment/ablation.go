@@ -103,7 +103,7 @@ func AblationPolicy(opts Options) (*Table, error) {
 		},
 		func(inst *instance, algo string, x float64, rep int, _ *core.WarmCache) (*core.Result, error) {
 			seed := runSeed(opts.Seed, 23, 0, rep, algoIndex(tbl, algo))
-			pol, err := newPolicy(algo, seed)
+			pol, err := newPolicy(algo, seed, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -112,7 +112,7 @@ func AblationPolicy(opts Options) (*Table, error) {
 	return tbl, err
 }
 
-func newPolicy(name string, seed int64) (bandit.Policy, error) {
+func newPolicy(name string, seed int64, opts Options) (bandit.Policy, error) {
 	switch name {
 	case policySE:
 		return bandit.NewSuccessiveElimination(policyKappaA)
@@ -121,7 +121,15 @@ func newPolicy(name string, seed int64) (bandit.Policy, error) {
 	case policyEps:
 		return bandit.NewEpsilonGreedy(policyKappaA, 0.1, rand.New(rand.NewSource(seed*17+3)))
 	case policyExp3:
-		return bandit.NewExp3(policyKappaA, 0.1, rand.New(rand.NewSource(seed*19+5)))
+		gamma := opts.Exp3Gamma
+		if gamma == 0 {
+			gamma = bandit.DefaultExp3Gamma
+		}
+		alpha := opts.Exp3Alpha
+		if alpha == 0 {
+			alpha = bandit.DefaultExp3Alpha
+		}
+		return bandit.NewExp3S(policyKappaA, gamma, alpha, rand.New(rand.NewSource(seed*19+5)))
 	case policyFixed:
 		return bandit.NewFixed(policyKappaA, policyKappaA/2)
 	default:

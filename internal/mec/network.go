@@ -53,9 +53,14 @@ type BaseStation struct {
 	SpeedFactor float64
 }
 
-// Network is an immutable MEC network: base stations plus backhaul
-// shortest-path structure. Build one per experiment and share it across
-// algorithm runs; all methods are safe for concurrent reads.
+// Network is an MEC network: base stations plus backhaul shortest-path
+// structure. Build one per experiment and share it across algorithm runs.
+// The topology and nominal capacities are immutable and all methods are
+// safe for concurrent reads; the one mutable knob is the per-station
+// capacity scale (SetCapacityScale), which models outages and degraded
+// operation. Scale changes must happen between scheduling slots — i.e.
+// not concurrently with readers — which is how the simulation engine
+// applies them.
 type Network struct {
 	stations []BaseStation
 	topo     *topology.Topology
@@ -64,6 +69,10 @@ type Network struct {
 	slotMHz float64
 	// cUnit is C_unit, MHz consumed per MB/s of data rate.
 	cUnit float64
+	// capScale multiplies each station's nominal capacity; nil means all
+	// ones. Lazily allocated by SetCapacityScale so the common stationary
+	// case costs one nil check per Capacity read.
+	capScale []float64
 }
 
 // NetworkConfig parameterizes NewNetwork.
@@ -139,8 +148,53 @@ func (n *Network) Stations() []BaseStation {
 	return out
 }
 
-// Capacity returns C(bs_i) in MHz.
-func (n *Network) Capacity(i int) float64 { return n.stations[i].CapacityMHz }
+// Capacity returns the effective capacity C(bs_i) in MHz: the nominal
+// capacity times the station's current capacity scale. Every scheduler,
+// LP row, and audit reads capacity through this accessor, so an outage
+// applied via SetCapacityScale is visible to all of them at once.
+func (n *Network) Capacity(i int) float64 {
+	c := n.stations[i].CapacityMHz
+	if n.capScale != nil {
+		c *= n.capScale[i]
+	}
+	return c
+}
+
+// CapacityScale returns station i's current capacity multiplier (1 when
+// never set).
+func (n *Network) CapacityScale(i int) float64 {
+	if n.capScale == nil {
+		return 1
+	}
+	return n.capScale[i]
+}
+
+// SetCapacityScale sets station i's capacity multiplier in [0, 1]: 0 is a
+// full outage, 1 restores nominal capacity. It must not be called
+// concurrently with capacity readers; the simulation engine applies
+// outage transitions between slots.
+func (n *Network) SetCapacityScale(i int, scale float64) error {
+	if i < 0 || i >= len(n.stations) {
+		return fmt.Errorf("%w: %d", ErrBadStation, i)
+	}
+	if scale < 0 || scale > 1 || scale != scale {
+		return fmt.Errorf("%w: station %d capacity scale %v out of [0, 1]", ErrBadCapacity, i, scale)
+	}
+	if n.capScale == nil {
+		if scale == 1 {
+			return nil
+		}
+		n.capScale = make([]float64, len(n.stations))
+		for j := range n.capScale {
+			n.capScale[j] = 1
+		}
+	}
+	n.capScale[i] = scale
+	return nil
+}
+
+// ResetCapacityScales restores every station to nominal capacity.
+func (n *Network) ResetCapacityScales() { n.capScale = nil }
 
 // SlotMHz returns the resource-slot size C_l.
 func (n *Network) SlotMHz() float64 { return n.slotMHz }
@@ -148,9 +202,10 @@ func (n *Network) SlotMHz() float64 { return n.slotMHz }
 // CUnit returns the MHz consumed per MB/s of data rate.
 func (n *Network) CUnit() float64 { return n.cUnit }
 
-// NumSlots returns L = floor(C(bs_i)/C_l) for station i.
+// NumSlots returns L = floor(C(bs_i)/C_l) for station i, using the
+// effective (outage-scaled) capacity.
 func (n *Network) NumSlots(i int) int {
-	return int(n.stations[i].CapacityMHz / n.slotMHz)
+	return int(n.Capacity(i) / n.slotMHz)
 }
 
 // SlotRate converts l resource slots of station capacity into the maximum
@@ -217,11 +272,11 @@ func (n *Network) NodePositions() []topology.Node {
 	return out
 }
 
-// TotalCapacity returns the sum of station capacities in MHz.
+// TotalCapacity returns the sum of effective station capacities in MHz.
 func (n *Network) TotalCapacity() float64 {
 	total := 0.0
-	for _, s := range n.stations {
-		total += s.CapacityMHz
+	for i := range n.stations {
+		total += n.Capacity(i)
 	}
 	return total
 }

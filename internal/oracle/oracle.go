@@ -163,6 +163,9 @@ func EngineChecker() sim.StepChecker {
 		if err := Check(st); err != nil {
 			return fmt.Errorf("slot %d: %w", rep.Slot, err)
 		}
+		if err := checkDriftTransitions(e, res, rep); err != nil {
+			return err
+		}
 		if info.Sched != nil && info.Sched.UncertaintyAware() && res != nil {
 			for _, j := range rep.Admitted {
 				d := res.Decisions[j]
@@ -184,6 +187,45 @@ func EngineChecker() sim.StepChecker {
 		}
 		return nil
 	}
+}
+
+// checkDriftTransitions enforces the conservation laws of drift slots:
+// an outage-evicted stream is really gone (it no longer runs, holds no
+// shares — the ledger law in Check covers the latter — and keeps its
+// admission-time served reward), and a handed-over request was pending at
+// transition time with a valid destination station (it may well have been
+// admitted later in the same slot — handovers fire before scheduling).
+// Both lists are empty on stationary runs, making this a no-op.
+func checkDriftTransitions(e *sim.Engine, res *core.Result, rep sim.SlotReport) error {
+	if len(rep.OutageEvicted) == 0 && len(rep.HandedOver) == 0 {
+		return nil
+	}
+	running := make(map[int]bool)
+	for _, ru := range e.SnapshotRunning() {
+		running[ru.Request] = true
+	}
+	for _, j := range rep.OutageEvicted {
+		if running[j] {
+			return fmt.Errorf("slot %d: oracle: request %d evicted by outage but still running", rep.Slot, j)
+		}
+		if res != nil && j >= 0 && j < len(res.Decisions) {
+			d := res.Decisions[j]
+			if !d.Admitted || !d.Served {
+				return fmt.Errorf("slot %d: oracle: outage-evicted request %d was never a served stream (admitted=%v served=%v)",
+					rep.Slot, j, d.Admitted, d.Served)
+			}
+		}
+	}
+	n := e.Net().NumStations()
+	for _, j := range rep.HandedOver {
+		if j < 0 || j >= len(e.Requests()) {
+			return fmt.Errorf("slot %d: oracle: handed-over request %d outside workload", rep.Slot, j)
+		}
+		if st := e.Requests()[j].AccessStation; st < 0 || st >= n {
+			return fmt.Errorf("slot %d: oracle: request %d handed over to station %d (out of range)", rep.Slot, j, st)
+		}
+	}
+	return nil
 }
 
 // CheckAdmittedLoad verifies the capacity discipline of an offline

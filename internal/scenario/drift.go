@@ -1,0 +1,375 @@
+// Non-stationary scenario DSL: a versioned JSON document describing how
+// an experiment's environment drifts over the horizon — piecewise arrival
+// and reward curves (diurnal load), flash-crowd bursts, mobility
+// handovers, and correlated station outages — plus the generator that
+// materializes it into a concrete network, workload, and drift script.
+// Unlike the v1 request-list documents, a drift scenario is generative:
+// it stores the recipe (seed included), not the sampled requests, so a
+// few hundred bytes of JSON reproduce an entire non-stationary run.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"mecoffload/internal/mec"
+	"mecoffload/internal/rnd"
+	"mecoffload/internal/sim"
+	"mecoffload/internal/workload"
+)
+
+// DriftFormatVersion is written into every drift scenario document.
+const DriftFormatVersion = 1
+
+// CurvePoint sets a multiplier from Slot onward (piecewise-constant,
+// until the next point). Slots before the first point use factor 1.
+type CurvePoint struct {
+	Slot   int     `json:"slot"`
+	Factor float64 `json:"factor"`
+}
+
+// Burst multiplies the arrival rate by Factor during [Start, End) — a
+// flash crowd on top of whatever the base curve says.
+type Burst struct {
+	Start  int     `json:"start"`
+	End    int     `json:"end"`
+	Factor float64 `json:"factor"`
+}
+
+// DriftDoc is the on-disk drift scenario: fully deterministic given its
+// seed, so the document is the experiment artifact.
+type DriftDoc struct {
+	Version int    `json:"version"`
+	Name    string `json:"name"`
+	Seed    int64  `json:"seed"`
+	// Horizon is the number of scheduling slots.
+	Horizon int `json:"horizon"`
+	// Stations is the network size; topology and capacities are generated
+	// from the seed with the repo's defaults.
+	Stations int `json:"stations"`
+	// RatePerSlot is the baseline expected arrivals per slot before
+	// curve and burst multipliers.
+	RatePerSlot float64 `json:"ratePerSlot"`
+	// RateCurve scales the arrival rate over time (diurnal load shape).
+	RateCurve []CurvePoint `json:"rateCurve,omitempty"`
+	// RewardCurve scales per-request unit rewards over time, drifting the
+	// reward distribution the learners estimate.
+	RewardCurve []CurvePoint `json:"rewardCurve,omitempty"`
+	// Bursts are flash-crowd arrival multipliers.
+	Bursts []Burst `json:"bursts,omitempty"`
+	// Handovers and Outages are the network-side drift script, applied by
+	// the simulation engine (see sim.Drift). The materializer additionally
+	// re-points generated arrivals after a handover slot so new users of a
+	// moved cluster attach to the destination station.
+	Handovers []sim.Handover `json:"handovers,omitempty"`
+	Outages   []sim.Outage   `json:"outages,omitempty"`
+}
+
+// Validate checks the document's internal consistency.
+func (d *DriftDoc) Validate() error {
+	if d == nil {
+		return fmt.Errorf("%w: nil drift document", ErrDecode)
+	}
+	if d.Version != DriftFormatVersion {
+		return fmt.Errorf("%w: drift version %d, want %d", ErrDecode, d.Version, DriftFormatVersion)
+	}
+	if d.Name == "" {
+		return fmt.Errorf("%w: drift scenario needs a name", ErrDecode)
+	}
+	if d.Horizon <= 0 || d.Horizon > 1<<20 {
+		return fmt.Errorf("%w: horizon %d out of (0, 2^20]", ErrDecode, d.Horizon)
+	}
+	if d.Stations <= 0 || d.Stations > 1<<12 {
+		return fmt.Errorf("%w: stations %d out of (0, 4096]", ErrDecode, d.Stations)
+	}
+	if !(d.RatePerSlot > 0) || d.RatePerSlot > 1e3 {
+		return fmt.Errorf("%w: ratePerSlot %v out of (0, 1000]", ErrDecode, d.RatePerSlot)
+	}
+	if err := validCurve("rateCurve", d.RateCurve, d.Horizon, 0); err != nil {
+		return err
+	}
+	// A zero reward factor would generate requests worth nothing, which
+	// mec.Request validation rejects; keep the curve strictly positive.
+	if err := validCurve("rewardCurve", d.RewardCurve, d.Horizon, 1e-6); err != nil {
+		return err
+	}
+	for _, b := range d.Bursts {
+		if b.Start < 0 || b.End <= b.Start || b.Start >= d.Horizon {
+			return fmt.Errorf("%w: burst window [%d, %d) invalid for horizon %d", ErrDecode, b.Start, b.End, d.Horizon)
+		}
+		if !(b.Factor >= 0) || b.Factor > 1e3 {
+			return fmt.Errorf("%w: burst factor %v out of [0, 1000]", ErrDecode, b.Factor)
+		}
+	}
+	drift := &sim.Drift{Handovers: d.Handovers, Outages: d.Outages}
+	if err := drift.Validate(d.Stations); err != nil {
+		return fmt.Errorf("%w: %v", ErrDecode, err)
+	}
+	return nil
+}
+
+func validCurve(name string, pts []CurvePoint, horizon int, minFactor float64) error {
+	prev := -1
+	for _, p := range pts {
+		if p.Slot < 0 || p.Slot >= horizon {
+			return fmt.Errorf("%w: %s slot %d out of [0, %d)", ErrDecode, name, p.Slot, horizon)
+		}
+		if p.Slot <= prev {
+			return fmt.Errorf("%w: %s slots not strictly increasing at %d", ErrDecode, name, p.Slot)
+		}
+		prev = p.Slot
+		if !(p.Factor >= minFactor) || p.Factor > 1e3 || math.IsNaN(p.Factor) {
+			return fmt.Errorf("%w: %s factor %v at slot %d out of range", ErrDecode, name, p.Factor, p.Slot)
+		}
+	}
+	return nil
+}
+
+// curveAt returns the piecewise-constant factor at slot t (1 before the
+// first point). Points are validated strictly increasing.
+func curveAt(pts []CurvePoint, t int) float64 {
+	f := 1.0
+	for _, p := range pts {
+		if p.Slot > t {
+			break
+		}
+		f = p.Factor
+	}
+	return f
+}
+
+func (d *DriftDoc) burstAt(t int) float64 {
+	f := 1.0
+	for _, b := range d.Bursts {
+		if t >= b.Start && t < b.End {
+			f *= b.Factor
+		}
+	}
+	return f
+}
+
+// ArrivalRate returns the expected arrivals at slot t: baseline times
+// rate-curve times burst factors.
+func (d *DriftDoc) ArrivalRate(t int) float64 {
+	return d.RatePerSlot * curveAt(d.RateCurve, t) * d.burstAt(t)
+}
+
+// RewardFactor returns the reward multiplier in force at slot t.
+func (d *DriftDoc) RewardFactor(t int) float64 {
+	return curveAt(d.RewardCurve, t)
+}
+
+// Materialize generates the concrete experiment inputs: a seeded random
+// network, the arrival stream sampled from the drift curves (a
+// fractional accumulator, so counts are exactly determined by the curve
+// integral and only the per-request attributes consume randomness), and
+// the engine-side drift script. Requests arriving at or after a handover
+// slot with the source access station are re-pointed to the destination,
+// modeling the moved user cluster's new attachments.
+func Materialize(d *DriftDoc) (*mec.Network, []*mec.Request, *sim.Drift, error) {
+	if err := d.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	net, err := mec.RandomNetwork(d.Stations, 3000, 3600, rnd.New(d.Seed, "drift-topology:"+d.Name))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rng := rnd.New(d.Seed, "drift-workload:"+d.Name)
+
+	var reqs []*mec.Request
+	acc := 0.0
+	for t := 0; t < d.Horizon; t++ {
+		acc += d.ArrivalRate(t)
+		n := int(acc)
+		acc -= float64(n)
+		rf := d.RewardFactor(t)
+		for i := 0; i < n; i++ {
+			batch, err := workload.Generate(workload.Config{
+				NumRequests:   1,
+				NumStations:   d.Stations,
+				MinUnitReward: workload.DefaultMinUnitReward * rf,
+				MaxUnitReward: workload.DefaultMaxUnitReward * rf,
+			}, rng)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("scenario: drift %q slot %d: %w", d.Name, t, err)
+			}
+			r := batch[0]
+			r.ID = len(reqs)
+			r.ArrivalSlot = t
+			for _, h := range d.Handovers {
+				if t >= h.Slot && r.AccessStation == h.From {
+					r.AccessStation = h.To
+				}
+			}
+			reqs = append(reqs, r)
+		}
+	}
+	drift := &sim.Drift{
+		Handovers: append([]sim.Handover(nil), d.Handovers...),
+		Outages:   append([]sim.Outage(nil), d.Outages...),
+	}
+	return net, reqs, drift, nil
+}
+
+// TimeShift returns a copy of the scenario delayed by delta slots: the
+// horizon grows by delta, every curve point, burst, handover, and outage
+// moves forward, and the arrival rate is pinned to zero over the new
+// quiet prefix. Because the generator's accumulator and rng are untouched
+// by empty slots, the shifted scenario materializes the exact same
+// request sequence with arrival slots offset by delta — the invariance
+// the metamorphic suite pins.
+func TimeShift(d *DriftDoc, delta int) (*DriftDoc, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if delta < 0 {
+		return nil, fmt.Errorf("%w: negative time shift %d", ErrDecode, delta)
+	}
+	out := *d
+	if delta == 0 {
+		return &out, nil
+	}
+	out.Horizon += delta
+	out.RateCurve = shiftCurve(d.RateCurve, delta)
+	out.RewardCurve = shiftCurve(d.RewardCurve, delta)
+	// Silence the prefix: rate 0 on [0, delta), then restore whatever the
+	// original curve said at its slot 0.
+	restored := 1.0
+	if len(d.RateCurve) > 0 && d.RateCurve[0].Slot == 0 {
+		restored = d.RateCurve[0].Factor
+	}
+	out.RateCurve = append([]CurvePoint{{Slot: 0, Factor: 0}, {Slot: delta, Factor: restored}},
+		trimLeadingCurve(out.RateCurve, delta)...)
+	out.Bursts = make([]Burst, len(d.Bursts))
+	for i, b := range d.Bursts {
+		out.Bursts[i] = Burst{Start: b.Start + delta, End: b.End + delta, Factor: b.Factor}
+	}
+	out.Handovers = make([]sim.Handover, len(d.Handovers))
+	for i, h := range d.Handovers {
+		out.Handovers[i] = sim.Handover{Slot: h.Slot + delta, From: h.From, To: h.To}
+	}
+	out.Outages = make([]sim.Outage, len(d.Outages))
+	for i, o := range d.Outages {
+		out.Outages[i] = sim.Outage{Station: o.Station, Start: o.Start + delta, End: o.End + delta, Scale: o.Scale}
+	}
+	return &out, nil
+}
+
+func shiftCurve(pts []CurvePoint, delta int) []CurvePoint {
+	out := make([]CurvePoint, len(pts))
+	for i, p := range pts {
+		out[i] = CurvePoint{Slot: p.Slot + delta, Factor: p.Factor}
+	}
+	return out
+}
+
+// trimLeadingCurve drops points at or before slot — they are covered by
+// the injected prefix points.
+func trimLeadingCurve(pts []CurvePoint, slot int) []CurvePoint {
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].Slot > slot })
+	return pts[i:]
+}
+
+// BuiltinNames lists the packaged drift scenarios in canonical order.
+func BuiltinNames() []string {
+	return []string{"iid", "diurnal", "flash-crowd", "mobility-handover", "correlated-outage"}
+}
+
+// Builtin returns a packaged drift scenario by name. These are the
+// scenario pack the drift experiment and the regression suites run: one
+// stationary control and four distinct non-stationarities.
+func Builtin(name string) (*DriftDoc, error) {
+	// The baseline rate saturates the 6-station network (steady state
+	// ~1.2 * 40-slot holds * ~800 MHz demand > total capacity), so the
+	// admission threshold binds and policy choice is visible in reward.
+	base := DriftDoc{
+		Version:     DriftFormatVersion,
+		Name:        name,
+		Seed:        1,
+		Horizon:     600,
+		Stations:    6,
+		RatePerSlot: 1.2,
+	}
+	switch name {
+	case "iid":
+		// Stationary control: no curves, no events.
+	case "diurnal":
+		// A day compressed into the horizon: load swells to 1.6x at peak,
+		// falls to 0.3x overnight, rewards rise off-peak (scarcity pricing).
+		base.RateCurve = []CurvePoint{
+			{Slot: 0, Factor: 0.5}, {Slot: 100, Factor: 1.0}, {Slot: 200, Factor: 1.6},
+			{Slot: 320, Factor: 1.0}, {Slot: 430, Factor: 0.3}, {Slot: 520, Factor: 0.8},
+		}
+		base.RewardCurve = []CurvePoint{
+			{Slot: 0, Factor: 1.0}, {Slot: 200, Factor: 0.8}, {Slot: 430, Factor: 1.3},
+		}
+	case "flash-crowd":
+		// Recurring arrival spikes with depressed per-request rewards
+		// mid-burst (congestion-time admissions are worth less): flash
+		// crowds come in waves, not once.
+		base.Bursts = []Burst{
+			{Start: 100, End: 160, Factor: 4},
+			{Start: 240, End: 320, Factor: 5},
+			{Start: 420, End: 470, Factor: 3.5},
+		}
+		base.RewardCurve = []CurvePoint{
+			{Slot: 0, Factor: 1.0}, {Slot: 100, Factor: 0.8}, {Slot: 160, Factor: 1.0},
+			{Slot: 240, Factor: 0.7}, {Slot: 320, Factor: 1.0},
+			{Slot: 420, Factor: 0.8}, {Slot: 470, Factor: 1.0},
+		}
+	case "mobility-handover":
+		// A user cluster marches across the network, handing its arrivals
+		// from station to station every ~120 slots.
+		base.Handovers = []sim.Handover{
+			{Slot: 100, From: 0, To: 3},
+			{Slot: 220, From: 3, To: 5},
+			{Slot: 340, From: 5, To: 2},
+			{Slot: 460, From: 2, To: 4},
+		}
+	case "correlated-outage":
+		// Stations sharing a power domain fail together and relapse: one
+		// fully dark, its neighbor degraded, recovering at different
+		// times, with a second correlated failure later in the run.
+		base.Outages = []sim.Outage{
+			{Station: 1, Start: 150, End: 260, Scale: 0},
+			{Station: 2, Start: 150, End: 230, Scale: 0.25},
+			{Station: 1, Start: 380, End: 470, Scale: 0},
+			{Station: 4, Start: 400, End: 490, Scale: 0.3},
+		}
+		base.RewardCurve = []CurvePoint{
+			{Slot: 0, Factor: 1.0}, {Slot: 150, Factor: 1.2}, {Slot: 260, Factor: 1.0},
+			{Slot: 380, Factor: 1.25}, {Slot: 490, Factor: 1.0},
+		}
+	default:
+		return nil, fmt.Errorf("scenario: unknown builtin drift scenario %q (have %v)", name, BuiltinNames())
+	}
+	return &base, nil
+}
+
+// WriteDrift encodes a drift scenario as indented JSON.
+func WriteDrift(w io.Writer, d *DriftDoc) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		return fmt.Errorf("scenario: encoding drift: %w", err)
+	}
+	return nil
+}
+
+// ReadDrift decodes and validates a drift scenario from JSON.
+func ReadDrift(r io.Reader) (*DriftDoc, error) {
+	var d DriftDoc
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDecode, err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}

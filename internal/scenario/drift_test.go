@@ -1,0 +1,270 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mecoffload/internal/sim"
+)
+
+// TestBuiltinsMaterialize: every packaged scenario validates, materializes
+// a non-trivial workload, and survives a JSON round-trip bit-for-bit.
+func TestBuiltinsMaterialize(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		t.Run(name, func(t *testing.T) {
+			doc, err := Builtin(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			net, reqs, drift, err := Materialize(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if net.NumStations() != doc.Stations {
+				t.Fatalf("network has %d stations, want %d", net.NumStations(), doc.Stations)
+			}
+			if len(reqs) < doc.Horizon/10 {
+				t.Fatalf("only %d requests over %d slots — arrival sampling broken", len(reqs), doc.Horizon)
+			}
+			for i, r := range reqs {
+				if r.ID != i {
+					t.Fatalf("request %d has ID %d", i, r.ID)
+				}
+				if i > 0 && r.ArrivalSlot < reqs[i-1].ArrivalSlot {
+					t.Fatalf("arrivals not sorted at %d", i)
+				}
+			}
+			if err := drift.Validate(doc.Stations); err != nil {
+				t.Fatal(err)
+			}
+
+			var buf bytes.Buffer
+			if err := WriteDrift(&buf, doc); err != nil {
+				t.Fatal(err)
+			}
+			back, err := ReadDrift(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, reqs2, _, err := Materialize(back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(reqs2) != len(reqs) {
+				t.Fatalf("round-tripped scenario generated %d requests, original %d", len(reqs2), len(reqs))
+			}
+			for i := range reqs {
+				if reqs[i].ArrivalSlot != reqs2[i].ArrivalSlot ||
+					reqs[i].AccessStation != reqs2[i].AccessStation ||
+					reqs[i].ExpectedReward() != reqs2[i].ExpectedReward() {
+					t.Fatalf("request %d differs after document round-trip", i)
+				}
+			}
+		})
+	}
+	if _, err := Builtin("no-such-scenario"); err == nil {
+		t.Fatal("unknown builtin accepted")
+	}
+}
+
+// TestMaterializeDeterministic: same document, same outputs — the doc is
+// the artifact.
+func TestMaterializeDeterministic(t *testing.T) {
+	doc, err := Builtin("diurnal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, a, _, err := Materialize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, _, err := Materialize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ArrivalSlot != b[i].ArrivalSlot || a[i].AccessStation != b[i].AccessStation ||
+			a[i].DurationSlots != b[i].DurationSlots || a[i].ExpectedReward() != b[i].ExpectedReward() {
+			t.Fatalf("request %d differs between identical materializations", i)
+		}
+	}
+}
+
+// TestRateCurveShapesArrivals: arrivals must track the curve — the
+// flash-crowd burst window holds a large multiple of the surrounding
+// baseline's arrivals.
+func TestRateCurveShapesArrivals(t *testing.T) {
+	doc, err := Builtin("flash-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, reqs, _, err := Materialize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := doc.Bursts[0]
+	inBurst, before := 0, 0
+	for _, r := range reqs {
+		switch {
+		case r.ArrivalSlot >= b.Start && r.ArrivalSlot < b.End:
+			inBurst++
+		case r.ArrivalSlot >= b.Start-(b.End-b.Start) && r.ArrivalSlot < b.Start:
+			before++
+		}
+	}
+	if inBurst < 3*before {
+		t.Fatalf("burst window has %d arrivals vs %d in the equal window before — 5x burst not visible", inBurst, before)
+	}
+}
+
+// TestHandoverRepointsLaterArrivals: requests generated at or after a
+// handover slot never attach to the vacated station.
+func TestHandoverRepointsLaterArrivals(t *testing.T) {
+	doc, err := Builtin("mobility-handover")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, reqs, _, err := Materialize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reqs {
+		for _, h := range doc.Handovers {
+			if r.ArrivalSlot >= h.Slot && r.AccessStation == h.From {
+				t.Fatalf("request %d arrives at slot %d on vacated station %d", r.ID, r.ArrivalSlot, h.From)
+			}
+		}
+	}
+}
+
+// TestTimeShiftMetamorphic: shifting a scenario by delta slots must
+// materialize the identical request sequence delayed by delta, with every
+// drift event delayed by delta — time-translation invariance of the
+// generator.
+func TestTimeShiftMetamorphic(t *testing.T) {
+	const delta = 37
+	for _, name := range BuiltinNames() {
+		t.Run(name, func(t *testing.T) {
+			doc, err := Builtin(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shifted, err := TimeShift(doc, delta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := shifted.Validate(); err != nil {
+				t.Fatalf("shifted document invalid: %v", err)
+			}
+			_, a, da, err := Materialize(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, b, db, err := Materialize(shifted)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("shifted run generated %d requests, original %d", len(b), len(a))
+			}
+			for i := range a {
+				if b[i].ArrivalSlot != a[i].ArrivalSlot+delta {
+					t.Fatalf("request %d arrival %d, want %d", i, b[i].ArrivalSlot, a[i].ArrivalSlot+delta)
+				}
+				if b[i].AccessStation != a[i].AccessStation || b[i].DurationSlots != a[i].DurationSlots ||
+					b[i].ExpectedReward() != a[i].ExpectedReward() {
+					t.Fatalf("request %d attributes differ under time shift", i)
+				}
+			}
+			for i, h := range da.Handovers {
+				if db.Handovers[i].Slot != h.Slot+delta {
+					t.Fatalf("handover %d not shifted", i)
+				}
+			}
+			for i, o := range da.Outages {
+				if db.Outages[i].Start != o.Start+delta || db.Outages[i].End != o.End+delta {
+					t.Fatalf("outage %d not shifted", i)
+				}
+			}
+		})
+	}
+	doc, _ := Builtin("iid")
+	if _, err := TimeShift(doc, -1); err == nil {
+		t.Fatal("negative shift accepted")
+	}
+}
+
+// TestDriftDocValidationRejects: table of malformed documents the decoder
+// must reject.
+func TestDriftDocValidationRejects(t *testing.T) {
+	valid := func() *DriftDoc {
+		d, err := Builtin("iid")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	cases := map[string]func(*DriftDoc){
+		"bad version":            func(d *DriftDoc) { d.Version = 99 },
+		"empty name":             func(d *DriftDoc) { d.Name = "" },
+		"zero horizon":           func(d *DriftDoc) { d.Horizon = 0 },
+		"huge horizon":           func(d *DriftDoc) { d.Horizon = 1 << 21 },
+		"zero stations":          func(d *DriftDoc) { d.Stations = 0 },
+		"zero rate":              func(d *DriftDoc) { d.RatePerSlot = 0 },
+		"nan rate":               func(d *DriftDoc) { d.RatePerSlot = nan() },
+		"curve slot past end":    func(d *DriftDoc) { d.RateCurve = []CurvePoint{{Slot: d.Horizon, Factor: 1}} },
+		"curve not increasing":   func(d *DriftDoc) { d.RateCurve = []CurvePoint{{Slot: 5, Factor: 1}, {Slot: 5, Factor: 2}} },
+		"negative curve factor":  func(d *DriftDoc) { d.RateCurve = []CurvePoint{{Slot: 0, Factor: -1}} },
+		"zero reward factor":     func(d *DriftDoc) { d.RewardCurve = []CurvePoint{{Slot: 0, Factor: 0}} },
+		"inverted burst":         func(d *DriftDoc) { d.Bursts = []Burst{{Start: 10, End: 5, Factor: 2}} },
+		"burst past horizon":     func(d *DriftDoc) { d.Bursts = []Burst{{Start: d.Horizon, End: d.Horizon + 5, Factor: 2}} },
+		"handover out of range":  func(d *DriftDoc) { d.Handovers = []sim.Handover{{Slot: 1, From: 0, To: 99}} },
+		"self handover":          func(d *DriftDoc) { d.Handovers = []sim.Handover{{Slot: 1, From: 2, To: 2}} },
+		"outage scale too big":   func(d *DriftDoc) { d.Outages = []sim.Outage{{Station: 0, Start: 1, End: 5, Scale: 1.5}} },
+		"outage window inverted": func(d *DriftDoc) { d.Outages = []sim.Outage{{Station: 0, Start: 5, End: 5, Scale: 0}} },
+		"overlapping outages": func(d *DriftDoc) {
+			d.Outages = []sim.Outage{
+				{Station: 0, Start: 10, End: 30, Scale: 0},
+				{Station: 0, Start: 20, End: 40, Scale: 0.5},
+			}
+		},
+	}
+	for name, corrupt := range cases {
+		d := valid()
+		corrupt(d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s: validation accepted the document", name)
+		}
+	}
+	// Distinct stations may overlap in time — that is the correlated
+	// outage scenario itself.
+	d := valid()
+	d.Outages = []sim.Outage{
+		{Station: 0, Start: 10, End: 30, Scale: 0},
+		{Station: 1, Start: 10, End: 30, Scale: 0},
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("cross-station overlapping outages rejected: %v", err)
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}
+
+// TestReadDriftRejectsGarbage: the decode path must error, not panic, on
+// malformed input.
+func TestReadDriftRejectsGarbage(t *testing.T) {
+	for _, s := range []string{
+		"", "{", "null", `{"version":1}`, `{"version":1,"name":"x"}`, "[1,2,3]",
+	} {
+		if _, err := ReadDrift(strings.NewReader(s)); err == nil {
+			t.Errorf("ReadDrift(%q) accepted garbage", s)
+		}
+	}
+}

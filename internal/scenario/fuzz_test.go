@@ -1,0 +1,81 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzScenarioDecode drives the drift-scenario decoder with arbitrary
+// bytes. The decoder must be total (no panics), and any document it
+// accepts must re-encode and re-decode to an equally valid document — the
+// decode/encode pair is a retraction onto valid scenarios.
+func FuzzScenarioDecode(f *testing.F) {
+	for _, name := range BuiltinNames() {
+		doc, err := Builtin(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteDrift(&buf, doc); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(`{"version":1,"name":"x","horizon":10,"stations":2,"ratePerSlot":0.5}`))
+	f.Add([]byte(`{"version":1,"name":"x","horizon":10,"stations":2,"ratePerSlot":0.5,` +
+		`"outages":[{"station":0,"start":1,"end":3,"scale":0},{"station":0,"start":2,"end":4,"scale":0}]}`))
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte(`{"rateCurve":[{"slot":-1}]}`))
+	f.Add([]byte("null"))
+	f.Add([]byte("{"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := ReadDrift(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted documents must satisfy the validator's contract...
+		if doc.Horizon <= 0 || doc.Stations <= 0 || !(doc.RatePerSlot > 0) {
+			t.Fatalf("decoder accepted out-of-contract document %+v", doc)
+		}
+		// ...and survive an encode/decode round trip unchanged.
+		var buf bytes.Buffer
+		if err := WriteDrift(&buf, doc); err != nil {
+			t.Fatalf("accepted document failed to encode: %v", err)
+		}
+		back, err := ReadDrift(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded document failed to decode: %v", err)
+		}
+		a, _ := json.Marshal(doc)
+		b, _ := json.Marshal(back)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("round trip changed the document:\n%s\n%s", a, b)
+		}
+	})
+}
+
+// FuzzScenarioV1Decode covers the request-list scenario reader with the
+// same totality contract.
+func FuzzScenarioV1Decode(f *testing.F) {
+	f.Add([]byte(`{"version":1,"network":{"slotMHz":1000,"cUnit":20,"stations":[{"capacityMHz":3000,"speedFactor":1}]},"requests":[]}`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte("[]"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		net, reqs, err := Read(strings.NewReader(string(data)))
+		if err != nil {
+			return
+		}
+		if net == nil || net.NumStations() == 0 {
+			t.Fatal("accepted scenario has no stations")
+		}
+		for i, r := range reqs {
+			if r.AccessStation < 0 || r.AccessStation >= net.NumStations() {
+				t.Fatalf("request %d access station out of range", i)
+			}
+		}
+	})
+}

@@ -151,6 +151,16 @@ type Config struct {
 	// environment variable is 1/true, which installs
 	// oracle.EngineChecker by default.
 	StepChecker sim.StepChecker
+	// Drift, when non-nil, installs a scripted non-stationarity program
+	// (station outages, mobility handovers; station ids are indices into
+	// Net) on the planner. Streams running on a station when its outage
+	// begins are evicted — their records move to StateEvicted, rewards
+	// already credited at admission stay credited. The script is config,
+	// not checkpointed state: a restored engine re-installs it and skips
+	// transitions already in the past, but an outage window straddling
+	// the restart is not re-applied (capacity scales live on Net, which
+	// a fresh process rebuilds nominal).
+	Drift *sim.Drift
 	// SlotObserver, when set, receives every slot report from the loop
 	// goroutine, after the slot has settled but before metrics publish.
 	// It must not call back into the engine. Replay harnesses use it to
@@ -436,6 +446,9 @@ func (e *Engine) installEmpty() error {
 	}
 	planner.SetStepChecker(e.cfg.StepChecker)
 	planner.SetFeedbackDeferred(e.cfg.DeferFeedback)
+	if err := planner.SetDrift(e.cfg.Drift); err != nil {
+		return err
+	}
 	e.planner = planner
 	e.res = &core.Result{Algorithm: e.sched.Name()}
 	e.pending = nil
@@ -1153,6 +1166,17 @@ func (e *Engine) runSlot() {
 			e.settled++
 		}
 		e.metrics.Expired.Inc()
+	}
+	// Outage evictions destroy running streams mid-hold: the record moves
+	// to evicted (rewards credited at admission stay credited, matching
+	// the planner's outage semantics).
+	for _, j := range rep.OutageEvicted {
+		if le, ok := e.live[j]; ok {
+			push(requestEvent{id: le.ext, kind: evEvicted, slot: t})
+			delete(e.live, j)
+			e.settled++
+		}
+		e.metrics.Evicted.Inc()
 	}
 	// rep.Served is a (small) subset of rep.Admitted; a linear membership
 	// scan avoids a per-slot map allocation.

@@ -93,7 +93,10 @@ func SpecCandidates(net *mec.Network, spec RequestSpec, buf []int) ([]int, error
 		if err != nil {
 			return nil, err
 		}
-		capI := st.CapacityMHz
+		// Effective capacity, not nominal: a station scaled down by an
+		// outage must drop out of the candidate set exactly as it does in
+		// core.CandidateStations' feasibility rule.
+		capI := net.Capacity(i)
 		if capI < slotMHz {
 			continue
 		}

@@ -90,6 +90,9 @@ type Engine struct {
 	// deferFB suppresses Step's in-slot scheduler feedback (see
 	// SetFeedbackDeferred).
 	deferFB bool
+	// drift holds the scripted non-stationarity cursors (see SetDrift);
+	// nil for stationary runs.
+	drift *driftState
 }
 
 // StepInfo carries the per-slot context a StepChecker needs beyond the
@@ -325,6 +328,12 @@ type SlotReport struct {
 	// Served lists the admitted requests that survived settlement and are
 	// now running streams.
 	Served []int
+	// OutageEvicted lists running streams destroyed because their station
+	// entered an outage this slot (rewards credited at admission stay).
+	OutageEvicted []int
+	// HandedOver lists pending requests whose access station was moved by
+	// a mobility handover this slot.
+	HandedOver []int
 	// Reward is the realized reward credited to this slot.
 	Reward float64
 }
@@ -344,6 +353,11 @@ func (e *Engine) Step(sched Scheduler, res *core.Result, t int, pending []int) (
 
 	// Departures first: instances destroyed at the start of endSlot.
 	rep.Departed = e.release(t)
+
+	// Scripted drift transitions fire after departures (a stream ending
+	// exactly now departs normally) and before expiry, so expiry and
+	// scheduling both see the post-transition network and queue.
+	e.applyDrift(t, pending, &rep)
 
 	// Expire pending requests that can no longer meet their deadline
 	// anywhere, even if scheduled right now (they remain rejected).
