@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build test race oracle cluster-parity incremental-parity drift bench bench-check bench-smoke load-smoke fuzz lint fmt vet clean
+.PHONY: verify build test race oracle cluster-parity incremental-parity drift bench bench-check bench-smoke tick-jitter load-smoke fuzz lint fmt vet clean
 
 ## verify: tier-1 gate — build everything, vet, gofmt check, full tests.
 verify: build vet fmt-check test
@@ -25,7 +25,7 @@ race:
 ## contracts, all under the race detector (same as the CI
 ## cluster-parity job).
 cluster-parity:
-	$(GO) test -race -count=1 -run 'TestClusterParity|TestClusterCheckpointReshard|TestMigrationRace' ./internal/cluster/
+	$(GO) test -race -count=1 -run 'TestClusterParity|TestClusterCheckpointReshard|TestMigrationRace|TestAsyncCheckpointByteEquivalence|TestAsyncCheckpointCrashRestore' ./internal/cluster/
 
 ## incremental-parity: the per-slot decision-cost correctness gate — the
 ## oracle differentials proving the dirty-component incremental cache and
@@ -70,7 +70,8 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkServeIngest' -benchtime 200x -benchmem . | tee -a bench-raw.txt
 	$(GO) run ./cmd/benchjson -in bench-raw.txt -out BENCH_PR5.json
 	$(GO) test -run '^$$' -bench 'BenchmarkClusterServeSlot' -benchtime 200x -benchmem . | tee bench-cluster-raw.txt
-	$(GO) run ./cmd/benchjson -in bench-cluster-raw.txt -out BENCH_PR7.json
+	$(GO) test -run '^$$' -bench 'BenchmarkClusterTickJitter' -benchtime 200x . | tee -a bench-cluster-raw.txt
+	$(GO) run ./cmd/benchjson -in bench-cluster-raw.txt -out BENCH_PR10.json
 	$(GO) test -run '^$$' -bench 'BenchmarkIncrementalServeSlot|BenchmarkLocalRatio' -benchtime 1000x -benchmem . | tee bench-incremental-raw.txt
 	$(GO) run ./cmd/benchjson -in bench-incremental-raw.txt -out BENCH_PR8.json
 
@@ -93,7 +94,7 @@ bench-check:
 	$(GO) run ./cmd/benchjson -compare -old BENCH_PR5.json -new bench-new.json -gate '^BenchmarkServeSlot'
 	$(GO) run ./cmd/benchjson -compare -old BENCH_PR5.json -new bench-ingest.json \
 		-gate '^BenchmarkServeIngest' -allocs-gate '^$$'
-	$(GO) run ./cmd/benchjson -compare -old BENCH_PR7.json -new bench-cluster-new.json \
+	$(GO) run ./cmd/benchjson -compare -old BENCH_PR10.json -new bench-cluster-new.json \
 		-gate '^BenchmarkClusterServeSlot' -allocs-gate '^$$'
 	$(GO) test -run '^$$' -bench 'BenchmarkIncrementalServeSlot|BenchmarkLocalRatio' -benchtime 1000x -benchmem . \
 		| $(GO) run ./cmd/benchjson -tee -out bench-incremental-new.json
@@ -106,8 +107,16 @@ bench-check:
 ## -benchtime 1x neither timings nor allocation counts are comparable
 ## to the amortized baseline (bench-check is the gate).
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkAppro|BenchmarkDynamicRRRun|BenchmarkLPColdVsWarm|BenchmarkServeSlot|BenchmarkServeIngest|BenchmarkClusterServeSlot|BenchmarkIncrementalServeSlot|BenchmarkLocalRatio|BenchmarkDriftAdaptivity' -benchtime 1x -benchmem . \
+	$(GO) test -run '^$$' -bench 'BenchmarkAppro|BenchmarkDynamicRRRun|BenchmarkLPColdVsWarm|BenchmarkServeSlot|BenchmarkServeIngest|BenchmarkClusterServeSlot|BenchmarkClusterTickJitter|BenchmarkIncrementalServeSlot|BenchmarkLocalRatio|BenchmarkDriftAdaptivity' -benchtime 1x -benchmem . \
 		| $(GO) run ./cmd/benchjson -tee -out bench-smoke.json
+
+## tick-jitter: the stop-the-world smoke gate — with async checkpoints
+## firing every 4 slots on a loaded 2-shard cluster, the max tick pause
+## must stay within 5x the median (10ms absolute floor), under the race
+## detector (same as the CI tick-jitter job). A failure here means a
+## checkpoint write landed back on the cluster clock.
+tick-jitter:
+	$(GO) test -race -count=1 -run 'TestTickPauseBoundWhileCheckpointing' ./internal/cluster/
 
 ## load-smoke: build arserved and drive the batched intake at 100k req/s
 ## offered for 2s on a tiny topology, failing on admit-rate collapse,

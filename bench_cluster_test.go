@@ -2,7 +2,10 @@ package mecoffload
 
 import (
 	"fmt"
+	"path/filepath"
+	"slices"
 	"testing"
+	"time"
 
 	"mecoffload/internal/cluster"
 	"mecoffload/internal/graph"
@@ -108,6 +111,98 @@ func BenchmarkClusterServeSlot(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkClusterTickJitter measures slot-time JITTER, the production
+// metric for a daemon that must emit a decision every slot: per-tick
+// latency distribution (p50/p99/max, via ReportMetric) on a loaded
+// 4-shard cluster with checkpoints firing every 16 slots — off
+// (baseline), async (the extraction-only clock path), and sync (the old
+// stop-the-world write). The acceptance gate reads the exported
+// BENCH_PR10.json: checkpoint=async p99 must stay within 2x of
+// checkpoint=off p99, which sync checkpointing fails by an order of
+// magnitude once fsync latency lands on the clock.
+func BenchmarkClusterTickJitter(b *testing.B) {
+	const islands, per, shards = 8, 4, 4
+	modes := []struct {
+		name    string
+		enabled bool
+		async   bool
+	}{
+		{"checkpoint=off", false, false},
+		{"checkpoint=async", true, true},
+		{"checkpoint=sync", true, false},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			net := benchIslandNetwork(b, islands, per)
+			cfg := cluster.Config{
+				Net:            net,
+				Shards:         shards,
+				SchedulerName:  "dynamicrr",
+				Seed:           17,
+				MigrationEvery: -1,
+			}
+			if m.enabled {
+				cfg.CheckpointPath = filepath.Join(b.TempDir(), "cluster.json")
+				cfg.CheckpointEvery = 16
+				cfg.AsyncCheckpoint = m.async
+			}
+			c, err := cluster.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.Start()
+			defer func() { _ = c.Stop() }()
+
+			burst := make([]serve.RequestSpec, islands*8)
+			for i := range burst {
+				burst[i] = serve.RequestSpec{
+					AccessStation: (i%islands)*per + (i/islands)%per,
+					DurationSlots: 6,
+					Outcomes: []serve.OutcomeSpec{
+						{RateMBs: 40, Prob: 1, Reward: float64(300 + (i*7)%400)},
+					},
+				}
+			}
+			if _, err := c.SubmitBatch(burst); err != nil {
+				b.Fatal(err)
+			}
+			if err := c.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			if err := c.Tick(); err != nil {
+				b.Fatal(err)
+			}
+
+			lat := make([]time.Duration, 0, b.N)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if _, err := c.SubmitBatch(burst); err != nil {
+					b.Fatal(err)
+				}
+				if err := c.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				start := time.Now()
+				if err := c.Tick(); err != nil {
+					b.Fatal(err)
+				}
+				lat = append(lat, time.Since(start))
+			}
+			b.StopTimer()
+			slices.Sort(lat)
+			pct := func(p int) float64 {
+				idx := (len(lat) - 1) * p / 100
+				return float64(lat[idx])
+			}
+			b.ReportMetric(pct(50), "p50-ns")
+			b.ReportMetric(pct(99), "p99-ns")
+			b.ReportMetric(float64(lat[len(lat)-1]), "max-ns")
 		})
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"mecoffload/internal/cluster"
 	"mecoffload/internal/mec"
 	"mecoffload/internal/oracle"
+	"mecoffload/internal/prof"
 	"mecoffload/internal/rnd"
 	"mecoffload/internal/scenario"
 	"mecoffload/internal/serve"
@@ -69,6 +70,7 @@ func run(args []string, out io.Writer) error {
 		shards     = fs.Int("shards", 4, "state shards")
 		ckptPath   = fs.String("checkpoint", "", "checkpoint file (restore on start, rewrite periodically)")
 		ckptEvery  = fs.Int("checkpoint-every", 50, "ticks between checkpoints")
+		ckptAsync  = fs.Bool("checkpoint-async", true, "write periodic checkpoints on a background goroutine (copy-on-write snapshot off the slot clock); shutdown and explicit checkpoints are always synchronous")
 		trace      = fs.Bool("trace", false, "print one line per slot (arsim trace format)")
 		drainAfter = fs.Duration("drain-timeout", 10*time.Second, "max wait for in-flight streams on shutdown")
 		replay     = fs.String("replay", "", "replay a workload trace JSON as a load generator instead of serving HTTP")
@@ -78,6 +80,8 @@ func run(args []string, out io.Writer) error {
 		increment  = fs.Bool("incremental", false, "reuse cached decisions of unchanged candidate-graph components between slots (dynamicrr/local-ratio; decisions are identical to a full re-solve)")
 		clShards   = fs.Int("cluster-shards", 0, "run N scheduler shards behind the cluster router (0 = single engine)")
 		pprofAddr  = fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
+		blockRate  = fs.Int("block-profile", 0, "blocking-profile sample threshold in ns for /debug/pprof/block (1 = every event, 0 = off; needs -pprof-addr)")
+		mutexFrac  = fs.Int("mutex-profile", 0, "mutex-contention sample fraction for /debug/pprof/mutex (1 = every contended lock, 0 = off; needs -pprof-addr)")
 
 		ringCap    = fs.Int("ring", 0, "batched-ingest ring capacity (0 = default 4096, rounded up to a power of two)")
 		stageCap   = fs.Int("stage", 0, "batched-ingest overflow-stage capacity before reward-aware shedding (0 = default 4096)")
@@ -118,6 +122,12 @@ func run(args []string, out io.Writer) error {
 		}
 		net_ = n
 	}
+
+	// Contention profiles are sampled from process start so an epoch
+	// barrier or clock-lock stall is visible the moment the pprof
+	// endpoint is scraped — both default off because sampling every
+	// blocking event costs on the hot path.
+	prof.EnableContentionProfiles(*blockRate, *mutexFrac)
 
 	if *pprofAddr != "" {
 		// Opt-in profiling endpoint, on its own listener so the debug
@@ -163,6 +173,7 @@ func run(args []string, out io.Writer) error {
 		Shards:          *shards,
 		CheckpointPath:  *ckptPath,
 		CheckpointEvery: *ckptEvery,
+		AsyncCheckpoint: *ckptAsync,
 		RingCapacity:    *ringCap,
 		StageCapacity:   *stageCap,
 		MaxPending:      *maxPending,
@@ -187,6 +198,7 @@ func run(args []string, out io.Writer) error {
 			Seed:            *seed,
 			CheckpointPath:  *ckptPath,
 			CheckpointEvery: *ckptEvery,
+			AsyncCheckpoint: *ckptAsync,
 			RingCapacity:    *ringCap,
 			StageCapacity:   *stageCap,
 			MaxPending:      *maxPending,

@@ -1,0 +1,110 @@
+package bandit
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// richSnapshot builds a snapshot exercising every Clone-copied field: a
+// Restart supervisor (detectors + recursive Inner) over an Exp3.S
+// (weights, rng seed/draws), wrapped in a Lipschitz interval. The inner
+// window/arm slices come from real driven policies, not literals, so the
+// test tracks the snapshot schema.
+func richSnapshot(t *testing.T) *LipschitzSnapshot {
+	t.Helper()
+	inner, err := NewExp3Seeded(6, 0.1, 0.01, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, err := NewPageHinkley(0.05, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := NewRestart(inner, ph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(rs, []float64{1, 5, 2, 8, 3, 4}, 80, rand.New(rand.NewSource(9)))
+	lip, err := NewLipschitz(rs, 200, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := lip.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestLipschitzSnapshotClone proves Clone is a faithful deep copy: equal
+// to the original, restorable to an identical policy, and sharing no
+// mutable slices with it — the property composeRestore relies on so two
+// shards seeded from one manifest never alias arm statistics.
+func TestLipschitzSnapshotClone(t *testing.T) {
+	snap := richSnapshot(t)
+	clone := snap.Clone()
+	if !reflect.DeepEqual(snap, clone) {
+		t.Fatalf("clone differs from original:\n%+v\nvs\n%+v", snap, clone)
+	}
+	if _, err := RestoreLipschitz(clone); err != nil {
+		t.Fatalf("restoring clone: %v", err)
+	}
+
+	// Mutate every slice and nested snapshot in the clone; the original
+	// must not move.
+	p := clone.Policy
+	if p.Kind != KindRestart || p.Inner == nil || len(p.Detectors) == 0 {
+		t.Fatalf("test setup: expected a restart snapshot with detectors, got %q", p.Kind)
+	}
+	if len(p.Inner.Weights) == 0 || len(p.Inner.Arms) == 0 {
+		t.Fatalf("test setup: expected exp3 inner with weights/arms")
+	}
+	p.Detectors[0].N += 1000
+	p.Inner.Weights[0] *= 7
+	p.Inner.Arms[0].Sum += 99
+	p.Inner.T += 5
+	clone.Min = -1
+	if reflect.DeepEqual(snap, clone) {
+		t.Fatal("mutating the clone should diverge it from the original")
+	}
+	fresh := richSnapshot(t)
+	if !reflect.DeepEqual(snap, fresh) {
+		t.Fatal("mutating the clone leaked into the original's shared state")
+	}
+}
+
+// TestPolicySnapshotCloneNil pins the nil-receiver contract both Clone
+// methods rely on for absent inner policies.
+func TestPolicySnapshotCloneNil(t *testing.T) {
+	var p *PolicySnapshot
+	if p.Clone() != nil {
+		t.Fatal("nil PolicySnapshot should clone to nil")
+	}
+	var l *LipschitzSnapshot
+	if l.Clone() != nil {
+		t.Fatal("nil LipschitzSnapshot should clone to nil")
+	}
+}
+
+// TestSlidingWindowSnapshotClone covers the window-ring slice, which the
+// restart/exp3 composite above doesn't exercise.
+func TestSlidingWindowSnapshotClone(t *testing.T) {
+	sw, err := NewSlidingWindowUCB(4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(sw, []float64{1, 4, 2, 3}, 40, rand.New(rand.NewSource(11)))
+	snap := sw.Snapshot()
+	clone := snap.Clone()
+	if !reflect.DeepEqual(snap, clone) {
+		t.Fatal("clone differs from original")
+	}
+	if len(clone.Window) == 0 {
+		t.Fatal("test setup: expected a populated window")
+	}
+	clone.Window[0].Reward += 100
+	if snap.Window[0].Reward == clone.Window[0].Reward {
+		t.Fatal("window ring aliased between clone and original")
+	}
+}

@@ -102,6 +102,46 @@ type LipschitzSnapshot struct {
 	Policy *PolicySnapshot `json:"policy"`
 }
 
+// Clone deep-copies the snapshot: the returned value shares no slices
+// (Arms, Window, Weights, Detectors) or nested snapshots with the
+// receiver, so two restored policies can never alias arm statistics.
+// Much cheaper than the JSON round-trip it replaces in the cluster's
+// restore composition.
+func (s *PolicySnapshot) Clone() *PolicySnapshot {
+	if s == nil {
+		return nil
+	}
+	out := *s
+	if s.Arms != nil {
+		out.Arms = make([]ArmSnapshot, len(s.Arms))
+		copy(out.Arms, s.Arms)
+	}
+	if s.Window != nil {
+		out.Window = make([]WindowEntry, len(s.Window))
+		copy(out.Window, s.Window)
+	}
+	if s.Weights != nil {
+		out.Weights = make([]float64, len(s.Weights))
+		copy(out.Weights, s.Weights)
+	}
+	if s.Detectors != nil {
+		out.Detectors = make([]DetectorSnapshot, len(s.Detectors))
+		copy(out.Detectors, s.Detectors)
+	}
+	out.Inner = s.Inner.Clone()
+	return &out
+}
+
+// Clone deep-copies the wrapper and its inner policy snapshot.
+func (s *LipschitzSnapshot) Clone() *LipschitzSnapshot {
+	if s == nil {
+		return nil
+	}
+	out := *s
+	out.Policy = s.Policy.Clone()
+	return &out
+}
+
 // Snapshot captures the policy's state.
 func (se *SuccessiveElimination) Snapshot() *PolicySnapshot {
 	s := &PolicySnapshot{

@@ -1,0 +1,164 @@
+// Package ckpt provides the single-flight background checkpoint writer
+// that takes durability I/O off the scheduling clock's critical path.
+//
+// The contract is copy-on-write: the caller extracts a self-contained
+// snapshot of its state (cheap clones — the serve and cluster checkpoint
+// structs share nothing mutable with the live engine) while holding its
+// own locks, then hands the writer a closure that performs the expensive
+// part — JSON encoding, temp-file write, fsync, atomic rename — on the
+// writer's goroutine. At most one write runs at a time and at most one
+// waits: a snapshot queued behind an unstarted one replaces it
+// (latest-wins), because an older generation that never reached disk is
+// strictly dominated by the newer one. Dropped generations are counted,
+// never silently lost ordering: every job that does run, runs in
+// submission order, so a synchronous SubmitWait also flushes everything
+// submitted before it.
+package ckpt
+
+import (
+	"errors"
+	"sync"
+)
+
+// Errors returned by Submit/SubmitWait.
+var (
+	// ErrClosed reports a submission after Close.
+	ErrClosed = errors.New("ckpt: writer closed")
+	// ErrSuperseded reports that a queued synchronous job was replaced
+	// by a newer snapshot before it started writing. With the intended
+	// single-producer usage (one clock goroutine submitting) it cannot
+	// happen; it exists so a stray concurrent producer strands no waiter.
+	ErrSuperseded = errors.New("ckpt: write superseded by a newer snapshot")
+)
+
+// job is one queued write: the closure plus, for SubmitWait, the waiter.
+type job struct {
+	run  func() error
+	done chan error // nil for fire-and-forget Submit
+}
+
+// Writer serializes checkpoint writes onto one background goroutine with
+// single-flight, latest-wins semantics.
+type Writer struct {
+	logf func(format string, args ...any)
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending *job
+	writing bool
+	closed  bool
+	dropped uint64
+
+	loopDone chan struct{}
+}
+
+// NewWriter starts a writer. logf (optional) receives failures of
+// fire-and-forget writes; synchronous failures return to the caller.
+func NewWriter(logf func(format string, args ...any)) *Writer {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	w := &Writer{logf: logf, loopDone: make(chan struct{})}
+	w.cond = sync.NewCond(&w.mu)
+	go w.loop()
+	return w
+}
+
+func (w *Writer) loop() {
+	defer close(w.loopDone)
+	w.mu.Lock()
+	for {
+		for w.pending == nil && !w.closed {
+			w.cond.Wait()
+		}
+		if w.pending == nil {
+			// Closed with nothing queued: Close drains before exit, so
+			// reaching here means every submitted write hit disk.
+			w.mu.Unlock()
+			return
+		}
+		j := w.pending
+		w.pending = nil
+		w.writing = true
+		w.mu.Unlock()
+
+		err := j.run()
+		if j.done != nil {
+			j.done <- err
+		} else if err != nil {
+			w.logf("ckpt: background checkpoint write failed: %v", err)
+		}
+
+		w.mu.Lock()
+		w.writing = false
+		w.cond.Broadcast()
+	}
+}
+
+// enqueue replaces any unstarted pending job with j (latest-wins).
+func (w *Writer) enqueue(j *job) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if old := w.pending; old != nil {
+		if old.done != nil {
+			old.done <- ErrSuperseded
+		} else {
+			w.dropped++
+		}
+	}
+	w.pending = j
+	w.cond.Broadcast()
+	return nil
+}
+
+// Submit queues a write and returns immediately. If an unstarted write
+// is already queued, the new one replaces it and the dropped counter
+// advances — the snapshot the caller just extracted is strictly newer.
+func (w *Writer) Submit(run func() error) error {
+	return w.enqueue(&job{run: run})
+}
+
+// SubmitWait queues a write and blocks until it completes, returning its
+// error. Because jobs execute in submission order, SubmitWait also acts
+// as a flush barrier: every write submitted before it has finished (or
+// been superseded by this one) by the time it returns. Stop paths use it
+// so the final checkpoint is durable — and not racing an older
+// in-flight write's rename — before shutdown proceeds.
+func (w *Writer) SubmitWait(run func() error) error {
+	done := make(chan error, 1)
+	if err := w.enqueue(&job{run: run, done: done}); err != nil {
+		return err
+	}
+	return <-done
+}
+
+// Wait blocks until the writer is idle: no write queued, none in flight.
+func (w *Writer) Wait() {
+	w.mu.Lock()
+	for w.pending != nil || w.writing {
+		w.cond.Wait()
+	}
+	w.mu.Unlock()
+}
+
+// Dropped returns how many queued snapshots were superseded before
+// reaching disk.
+func (w *Writer) Dropped() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dropped
+}
+
+// Close drains the queue (the last pending write still executes), stops
+// the goroutine, and waits for it to exit. Idempotent; submissions after
+// Close fail with ErrClosed.
+func (w *Writer) Close() {
+	w.mu.Lock()
+	w.closed = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	<-w.loopDone
+}

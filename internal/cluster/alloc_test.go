@@ -95,6 +95,50 @@ func TestTakeReportsDoubleBuffer(t *testing.T) {
 	}
 }
 
+// TestIdleTickEpochAllocFree pins the epoch machine's floor: one cluster
+// tick — the epoch broadcast to the persistent shard workers, the fused
+// feedback delivery, the report fan-in, and the SlotObserver callback —
+// allocates NOTHING on an idle slot, across all goroutines. The old
+// per-tick `go func` spawn plus the `sort.Slice` closure made this
+// impossible; a regression here means something put per-slot garbage
+// back on the clock path. (AllocsPerRun may race a GC clearing the
+// engines' reply-channel pools; the assert tolerates the occasional
+// refill but not a per-tick allocation.)
+func TestIdleTickEpochAllocFree(t *testing.T) {
+	net := allocTestNetwork(t)
+	c, err := New(Config{
+		Net:            net,
+		Shards:         2,
+		Seed:           5,
+		MigrationEvery: -1,
+		SlotObserver: func(slot int, admitted []uint64, reward float64) {
+			if len(admitted) != 0 || reward != 0 {
+				t.Errorf("idle slot %d reported admitted=%v reward=%v", slot, admitted, reward)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer func() { _ = c.Stop() }()
+	// Warm every reusable buffer: reply-channel pools, the epoch
+	// WaitGroup, report double-buffers, the admitted scratch.
+	for i := 0; i < 8; i++ {
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0.05 {
+		t.Fatalf("idle cluster tick allocates %v per run, want 0", allocs)
+	}
+}
+
 // TestSubmitBatchScratchReuse pins the batched-ingest floor indirectly:
 // the pooled batchScratch must produce identical results across reuse,
 // including shards skipped on the second batch (stale results must not

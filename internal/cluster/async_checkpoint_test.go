@@ -1,0 +1,263 @@
+package cluster_test
+
+// The async-checkpoint contract: taking the disk half of a checkpoint
+// off the cluster clock must be invisible in the bytes (async and sync
+// runs of the same schedule write identical generations), survivable
+// (a crash between snapshot extraction and the manifest rename restores
+// the previous generation intact), and actually off the clock (a tick
+// that coincides with a checkpoint must not stall behind the write).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"mecoffload/internal/cluster"
+	"mecoffload/internal/oracle"
+	"mecoffload/internal/serve"
+)
+
+// runCheckpointSchedule drives one deterministic schedule — one
+// single-outcome request per island per slot, manual ticks — against a
+// checkpointing cluster and returns after Stop. With async set it waits
+// out the writer after every tick so no generation is dropped and the
+// generation numbering matches the synchronous run exactly.
+func runCheckpointSchedule(t *testing.T, manifest string, async bool) {
+	t.Helper()
+	const islands, per, slots = 4, 2, 16
+	net := islandNetwork(t, islands, per)
+	cfg := parityConfig(net, 2)
+	cfg.CheckpointPath = manifest
+	cfg.CheckpointEvery = 4
+	cfg.AsyncCheckpoint = async
+	c, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	for s := 0; s < slots; s++ {
+		for isl := 0; isl < islands; isl++ {
+			if _, _, err := c.Submit(serve.RequestSpec{
+				AccessStation: isl * per,
+				DurationSlots: 2,
+				Outcomes:      []serve.OutcomeSpec{{RateMBs: 40, Prob: 1, Reward: float64(100 + (s*37+isl)%400)}},
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		if async {
+			c.WaitCheckpoints()
+		}
+	}
+	if d := c.CheckpointsDropped(); d != 0 {
+		t.Fatalf("dropped %d generations despite waiting out every write", d)
+	}
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	<-c.Done()
+}
+
+// TestAsyncCheckpointByteEquivalence is the tentpole's correctness
+// oracle: the same deterministic schedule, checkpointed once through the
+// background writer and once synchronously, must leave byte-for-byte
+// identical checkpoint directories — same manifest, same generation
+// numbering, same shard snapshot bytes. Run under -race in CI's
+// cluster-parity job.
+func TestAsyncCheckpointByteEquivalence(t *testing.T) {
+	dirAsync, dirSync := t.TempDir(), t.TempDir()
+	runCheckpointSchedule(t, filepath.Join(dirAsync, "cluster.json"), true)
+	runCheckpointSchedule(t, filepath.Join(dirSync, "cluster.json"), false)
+	if err := oracle.DiffCheckpointDirs(dirAsync, dirSync); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAsyncCheckpointCrashRestore simulates the worst crash window the
+// async split opens: snapshots for generation G+1 were extracted and
+// some shard files even reached disk, but the process died before the
+// manifest rename. Restore must come back from generation G with every
+// request's ownership intact, ignore the orphaned G+1 files and stray
+// temp files, and keep scheduling.
+func TestAsyncCheckpointCrashRestore(t *testing.T) {
+	const islands, per = 4, 2
+	net := islandNetwork(t, islands, per)
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "cluster.json")
+
+	cfg := parityConfig(net, 2)
+	cfg.CheckpointPath = manifest
+	cfg.CheckpointEvery = 2
+	cfg.AsyncCheckpoint = true
+	c, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	// A mix of running streams (submitted, then ticked into service) and
+	// still-pending requests, so the restore has both to prove.
+	var ids []uint64
+	for isl := 0; isl < islands; isl++ {
+		id, _, err := c.Submit(serve.RequestSpec{
+			AccessStation: isl * per,
+			DurationSlots: 6,
+			Outcomes:      []serve.OutcomeSpec{{RateMBs: 40, Prob: 1, Reward: 500}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for i := 0; i < 2; i++ {
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for isl := 0; isl < islands; isl++ {
+		id, _, err := c.Submit(serve.RequestSpec{
+			AccessStation: isl * per,
+			DurationSlots: 2,
+			Outcomes:      []serve.OutcomeSpec{{RateMBs: 40, Prob: 1, Reward: 300}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	states := map[uint64]string{}
+	for _, id := range ids {
+		rec, ok, err := c.Status(id)
+		if err != nil || !ok {
+			t.Fatalf("pre-stop status %d: ok=%v err=%v", id, ok, err)
+		}
+		states[id] = string(rec.State)
+	}
+	if err := c.Stop(); err != nil { // final synchronous manifest: generation G
+		t.Fatal(err)
+	}
+	<-c.Done()
+
+	var man cluster.Manifest
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &man); err != nil {
+		t.Fatal(err)
+	}
+	gen := man.Generation
+
+	// Forge the crash residue of an unfinished generation G+1: every
+	// shard snapshot written, manifest rename never reached, plus a
+	// stray manifest temp file.
+	for _, sh := range man.Shards {
+		src, err := os.ReadFile(filepath.Join(dir, sh.File))
+		if err != nil {
+			t.Fatal(err)
+		}
+		forged := fmt.Sprintf("cluster.json.shard%d.gen%d", sh.Index, gen+1)
+		if err := os.WriteFile(filepath.Join(dir, forged), src, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "cluster.json.tmp123"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rcfg := parityConfig(net, 4) // reshard on the way back for good measure
+	rcfg.CheckpointPath = manifest
+	rcfg.AsyncCheckpoint = true
+	rc, err := cluster.New(rcfg)
+	if err != nil {
+		t.Fatalf("restore after simulated crash: %v", err)
+	}
+	rc.Start()
+	for _, id := range ids {
+		rec, ok, err := rc.Status(id)
+		if err != nil || !ok {
+			t.Fatalf("restored status %d: ok=%v err=%v", id, ok, err)
+		}
+		if string(rec.State) != states[id] {
+			t.Fatalf("request %d restored in state %q, want %q (previous generation)", id, rec.State, states[id])
+		}
+		if rec.ID != id {
+			t.Fatalf("request %d restored with id %d: stream ownership broken", id, rec.ID)
+		}
+	}
+	// The restored cluster must still schedule its way to quiescence.
+	for i := 0; i < 16; i++ {
+		if err := rc.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range ids {
+		rec, ok, err := rc.Status(id)
+		if err != nil || !ok {
+			t.Fatalf("post-tick status %d: ok=%v err=%v", id, ok, err)
+		}
+		if rec.State == serve.StatePending {
+			t.Fatalf("request %d still pending after 16 restored slots", id)
+		}
+	}
+	if err := rc.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	<-rc.Done()
+}
+
+// TestTickPauseBoundWhileCheckpointing is the stop-the-world guard the
+// tentpole exists for: with async checkpoints firing every 4 slots on a
+// loaded cluster, no tick may stall far beyond the median — the old
+// synchronous path froze every shard for the full encode+fsync+rename.
+// The 10ms absolute floor keeps the 5× ratio from tripping on scheduler
+// noise when the median lands in the tens of microseconds (this test
+// runs under -race in CI, which inflates everything but the ratio).
+func TestTickPauseBoundWhileCheckpointing(t *testing.T) {
+	const islands, per, slots = 4, 2, 64
+	net := islandNetwork(t, islands, per)
+	dir := t.TempDir()
+	cfg := parityConfig(net, 2)
+	cfg.CheckpointPath = filepath.Join(dir, "cluster.json")
+	cfg.CheckpointEvery = 4
+	cfg.AsyncCheckpoint = true
+	c, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer func() { _ = c.Stop() }()
+
+	lat := make([]time.Duration, 0, slots)
+	for s := 0; s < slots; s++ {
+		for isl := 0; isl < islands; isl++ {
+			if _, _, err := c.Submit(serve.RequestSpec{
+				AccessStation: isl * per,
+				DurationSlots: 2,
+				Outcomes:      []serve.OutcomeSpec{{RateMBs: 40, Prob: 1, Reward: 400}},
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		start := time.Now()
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		lat = append(lat, time.Since(start))
+	}
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	median, max := lat[len(lat)/2], lat[len(lat)-1]
+	bound := 5 * median
+	if floor := 10 * time.Millisecond; bound < floor {
+		bound = floor
+	}
+	if max > bound {
+		t.Fatalf("max tick pause %v exceeds bound %v (median %v): checkpointing is back on the clock path", max, bound, median)
+	}
+}

@@ -81,12 +81,31 @@ func shardFile(base string, shard int, gen uint64) string {
 	return fmt.Sprintf("%s.shard%d.gen%d", base, shard, gen)
 }
 
-// checkpointLocked writes a full cluster checkpoint: flush and snapshot
-// every alive shard, write each snapshot to a generation-stamped file,
-// then atomically swing the manifest to the new generation and sweep
-// the previous one. Dead (fully drained) shards contribute an empty
-// snapshot so restore still sees every partition.
-func (c *Cluster) checkpointLocked() error {
+// checkpointLocked takes a full cluster checkpoint, split into a cheap
+// extraction under the clock lock and a disk job on the single-flight
+// writer. Extraction is one epSnapshot epoch — every shard flushes its
+// batched-ingest residue and hands back a copy-on-write snapshot — plus
+// the manifest skeleton; JSON encoding, temp files, fsync, the
+// generation-stamped shard renames, the manifest rename, and the
+// previous generation's sweep all run inside the writer job. With
+// syncWrite (Stop's final manifest, and every checkpoint when
+// AsyncCheckpoint is off) the call blocks until the generation is
+// durable; otherwise it returns right after extraction and the write
+// proceeds in the background, latest generation winning if the clock
+// laps the disk. The manifest is still written atomically AFTER every
+// shard file, so a crash mid-write leaves the previous generation fully
+// intact. Dead (fully drained) shards contribute an empty snapshot so
+// restore still sees every partition.
+func (c *Cluster) checkpointLocked(syncWrite bool) error {
+	if c.clockStopped {
+		return serve.ErrStopped
+	}
+	// Settle pending fused feedback first so the captured bandit state
+	// is post-feedback — byte-identical to the pre-fusion schedule's.
+	if err := c.settleFeedbackLocked(); err != nil {
+		return err
+	}
+	c.epoch(epochMsg{op: epSnapshot})
 	base := c.cfg.CheckpointPath
 	gen := c.manifestGen + 1
 	man := &Manifest{
@@ -95,22 +114,14 @@ func (c *Cluster) checkpointLocked() error {
 		Slot:       c.slot,
 		Scheduler:  c.nodes[0].eng.SchedulerName(),
 	}
-	var files []string
+	snaps := make([]*serve.Checkpoint, len(c.nodes))
+	files := make([]string, len(c.nodes))
 	for k, nd := range c.nodes {
-		var ck *serve.Checkpoint
-		if nd.eng.Alive() {
-			if err := nd.eng.Flush(); err != nil && !errors.Is(err, serve.ErrStopped) {
-				return fmt.Errorf("cluster: flushing shard %d: %w", k, err)
-			}
-			snap, err := nd.eng.Snapshot()
-			if err != nil {
-				if !errors.Is(err, serve.ErrStopped) {
-					return fmt.Errorf("cluster: snapshotting shard %d: %w", k, err)
-				}
-				snap = nil
-			}
-			ck = snap
+		if nd.snapErr != nil {
+			return fmt.Errorf("cluster: snapshotting shard %d: %w", k, nd.snapErr)
 		}
+		ck := nd.snap
+		nd.snap = nil
 		if ck == nil {
 			ck = &serve.Checkpoint{
 				Version:   serve.CheckpointVersion,
@@ -118,29 +129,40 @@ func (c *Cluster) checkpointLocked() error {
 				Scheduler: man.Scheduler,
 			}
 		}
-		file := shardFile(base, k, gen)
-		if err := serve.WriteCheckpoint(file, ck); err != nil {
-			return fmt.Errorf("cluster: writing shard %d snapshot: %w", k, err)
-		}
-		files = append(files, file)
+		snaps[k] = ck
+		files[k] = shardFile(base, k, gen)
 		man.Shards = append(man.Shards, manifestShard{
 			Index:    k,
 			Stations: append([]int(nil), nd.stations...),
-			File:     filepath.Base(file),
+			File:     filepath.Base(files[k]),
 			IDs:      c.router.bindings(k),
 		})
 	}
 	man.NextGlobalID = c.router.stats().Routed
-	if err := writeManifest(base, man); err != nil {
-		return err
-	}
-	for _, old := range c.prevFiles {
-		os.Remove(old) // best-effort sweep of the superseded generation
-	}
-	c.prevFiles = files
+	// The generation number is consumed at extraction: if this write is
+	// later superseded or fails, the numbering simply skips — restore
+	// only ever follows the manifest, never guesses file names.
 	c.manifestGen = gen
-	c.checkpoints.Add(1)
-	return nil
+	job := func() error {
+		for k, ck := range snaps {
+			if err := serve.WriteCheckpoint(files[k], ck); err != nil {
+				return fmt.Errorf("cluster: writing shard %d snapshot: %w", k, err)
+			}
+		}
+		if err := writeManifest(base, man); err != nil {
+			return err
+		}
+		for _, old := range c.diskPrev {
+			os.Remove(old) // best-effort sweep of the superseded generation
+		}
+		c.diskPrev = files
+		c.checkpoints.Add(1)
+		return nil
+	}
+	if syncWrite {
+		return c.ckw.SubmitWait(job)
+	}
+	return c.ckw.Submit(job)
 }
 
 // writeManifest persists the manifest atomically: temp file in the same
@@ -316,13 +338,7 @@ func (c *Cluster) composeRestore(man *Manifest, snaps []*serve.Checkpoint) ([]*s
 	}
 	for k := range out {
 		out[k].NextExternalID = nextExt[k]
-		if banditSnap != nil {
-			clone, err := cloneBandit(banditSnap)
-			if err != nil {
-				return nil, err
-			}
-			out[k].Bandit = clone
-		}
+		out[k].Bandit = banditSnap.Clone()
 	}
 	addTotals(&out[0].Totals, totals)
 	c.router.setNextGlobal(man.NextGlobalID)
@@ -466,20 +482,6 @@ func localizeStream(rs *sim.RunningSnapshot, shard int, owner []int, parts [][]i
 	}
 	out.ProcStation = l
 	return &out, nil
-}
-
-// cloneBandit deep-copies a learner snapshot through its JSON form so
-// two shards never share arm-statistic slices.
-func cloneBandit(s *bandit.LipschitzSnapshot) (*bandit.LipschitzSnapshot, error) {
-	data, err := json.Marshal(s)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: cloning bandit snapshot: %w", err)
-	}
-	out := new(bandit.LipschitzSnapshot)
-	if err := json.Unmarshal(data, out); err != nil {
-		return nil, fmt.Errorf("cluster: cloning bandit snapshot: %w", err)
-	}
-	return out, nil
 }
 
 func addTotals(dst *serve.Totals, src serve.Totals) {

@@ -3,11 +3,12 @@ package cluster
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"mecoffload/internal/ckpt"
 	"mecoffload/internal/mec"
 	"mecoffload/internal/rnd"
 	"mecoffload/internal/serve"
@@ -48,6 +49,16 @@ type Config struct {
 	// every CheckpointEvery slots (default 50) and at Stop.
 	CheckpointPath  string
 	CheckpointEvery int
+	// AsyncCheckpoint takes checkpoint I/O off the cluster clock: under
+	// the clock lock the periodic checkpoint only extracts copy-on-write
+	// shard snapshots (one epoch barrier), and JSON encoding, temp
+	// files, fsync, and the generation-stamped manifest rename run on a
+	// single-flight writer goroutine. A snapshot generation still queued
+	// when the next one extracts is dropped (latest wins; counted on
+	// /metrics). The written bytes are identical to a synchronous
+	// checkpoint at the same slot boundary, and Stop's final manifest is
+	// always written synchronously.
+	AsyncCheckpoint bool
 	// MigrationEvery is the slot period of the cross-shard migration
 	// sweep (default 4; negative disables migration). MigrationBurst
 	// bounds commits per sweep (default 4) and MigrationHysteresis is
@@ -82,6 +93,35 @@ type shardSlotReport struct {
 	reward   float64
 }
 
+// epochOp selects what one epoch barrier asks of every shard worker.
+type epochOp int
+
+const (
+	// epTick runs one slot — fused with the previous slot's deferred
+	// feedback when hasFB — and, when wantFree, refreshes the shard's
+	// free-capacity fraction for the migration sweep.
+	epTick epochOp = iota
+	// epSettle delivers pending deferred feedback without advancing the
+	// clock; checkpoints and Stop use it so captured bandit state
+	// matches what a synchronous schedule would have written.
+	epSettle
+	// epSnapshot flushes batched-ingest residue and extracts the shard's
+	// copy-on-write checkpoint snapshot into nd.snap.
+	epSnapshot
+)
+
+// epochMsg is one barrier broadcast to the persistent shard workers. It
+// is sent by value (no allocation) and carries the reusable WaitGroup
+// the coordinator waits on.
+type epochMsg struct {
+	op       epochOp
+	fbSlot   int
+	fbReward float64
+	hasFB    bool
+	wantFree bool
+	wg       *sync.WaitGroup
+}
+
 // shardNode is one scheduler shard: an engine over an induced
 // sub-network plus the station index maps.
 type shardNode struct {
@@ -94,6 +134,17 @@ type shardNode struct {
 	migratedIn  atomic.Uint64
 	migratedOut atomic.Uint64
 
+	// Epoch-worker plumbing. The persistent worker goroutine (started by
+	// New, terminated by Stop closing epochC) blocks on epochC and
+	// writes its results into the fields below; the coordinator reads
+	// them only after the epoch's WaitGroup settles, so the barrier is
+	// the only synchronization they need.
+	epochC   chan epochMsg
+	err      error
+	freeFrac float64
+	snap     *serve.Checkpoint
+	snapErr  error
+
 	mu      sync.Mutex
 	reports []shardSlotReport
 	// spare is the report buffer the previous takeReports handed out,
@@ -101,6 +152,68 @@ type shardNode struct {
 	// the steady-state tick appends into an already-sized array instead
 	// of growing a fresh slice every slot.
 	spare []shardSlotReport
+}
+
+// epochWorker is the persistent per-shard goroutine: it replaces the
+// per-tick `go func` spawn, so a slot costs one channel send and one
+// WaitGroup decrement per shard instead of a goroutine creation.
+func (nd *shardNode) epochWorker() {
+	for msg := range nd.epochC {
+		switch msg.op {
+		case epTick:
+			switch {
+			case !nd.eng.Alive():
+				nd.err = serve.ErrStopped
+			case msg.hasFB:
+				nd.err = nd.eng.TickWithFeedback(msg.fbSlot, msg.fbReward)
+			default:
+				nd.err = nd.eng.Tick()
+			}
+			if msg.wantFree {
+				nd.freeFrac = nd.computeFreeFrac()
+			}
+		case epSettle:
+			nd.err = nil
+			if msg.hasFB && nd.eng.Alive() {
+				if err := nd.eng.DeliverFeedback(msg.fbSlot, msg.fbReward); err != nil && !errors.Is(err, serve.ErrStopped) {
+					nd.err = err
+				}
+			}
+		case epSnapshot:
+			nd.snap, nd.snapErr = nil, nil
+			if nd.eng.Alive() {
+				if err := nd.eng.Flush(); err != nil && !errors.Is(err, serve.ErrStopped) {
+					nd.snapErr = err
+				} else if snap, err := nd.eng.Snapshot(); err == nil {
+					nd.snap = snap
+				} else if !errors.Is(err, serve.ErrStopped) {
+					nd.snapErr = err
+				}
+			}
+		}
+		msg.wg.Done()
+	}
+}
+
+// computeFreeFrac returns the shard's spare-capacity fraction: occupancy
+// from the engine's station gauges against the sub-network's EFFECTIVE
+// capacities, so a shard mid-outage stops attracting migrations instead
+// of advertising its dark stations' nominal MHz. A dead shard, or one
+// with no effective capacity, counts as fully loaded. It runs on the
+// epoch worker during sweep slots, off the coordinator's critical path.
+func (nd *shardNode) computeFreeFrac() float64 {
+	if !nd.eng.Alive() {
+		return 0
+	}
+	var used, cap float64
+	for _, g := range nd.eng.Gauges() {
+		used += g.UsedMHz
+		cap += nd.subnet.Capacity(g.Station)
+	}
+	if cap <= 0 {
+		return 0
+	}
+	return (cap - used) / cap
 }
 
 func (nd *shardNode) observe(slot int, admitted []uint64, reward float64) {
@@ -132,24 +245,44 @@ type Cluster struct {
 	router *router
 
 	// mu serializes the cluster clock: Tick, the migration sweep, and
-	// checkpoints. Submit/Status take only the router's lock.
+	// checkpoint extraction. Submit/Status take only the router's lock.
 	mu          sync.Mutex
 	slot        int
 	manifestGen uint64
+	// clockStopped marks the clock dead (mu-guarded): Stop sets it
+	// before closing the worker epoch channels, so a Tick that was
+	// blocked on mu across Stop returns ErrStopped instead of sending on
+	// a closed channel.
+	clockStopped bool
+	// epochWG is the reusable barrier the epoch broadcast waits on; the
+	// clock lock serializes epochs, so Add never races Wait.
+	epochWG sync.WaitGroup
+	// Deferred fused feedback (mu-guarded): slot fbSlot's aggregated
+	// reward, delivered inside the NEXT tick's epoch message so
+	// tick+feedback cost one barrier. The learner still sees feedback(t)
+	// before Step(t+1) — the decision stream is unchanged.
+	fbSlot   int
+	fbReward float64
+	fbValid  bool
 	// crossHandovers are the drift handovers whose endpoints live in
 	// different shards, sorted by slot; crossCur is the forward-only
 	// cursor the clock advances (mu-guarded).
 	crossHandovers []sim.Handover
 	crossCur       int
-	// tickErrs and tickAdmitted are tickLocked's reusable per-slot
-	// scratch (mu-guarded): the fan-out error vector and the global
-	// reward-aggregation id list, grown once and recycled every slot.
-	tickErrs     []error
+	// tickAdmitted is tickLocked's reusable global reward-aggregation id
+	// list (mu-guarded), grown once and recycled every slot.
 	tickAdmitted []uint64
 	// submitScratch pools SubmitBatch's routing scratch (route table,
 	// per-shard spec slices, zip cursors) across concurrent batches.
 	submitScratch sync.Pool
-	prevFiles     []string
+
+	// ckw serializes every checkpoint's disk half (non-nil when
+	// CheckpointPath is set; both sync and async writes route through it
+	// so an older in-flight write can never clobber a newer manifest).
+	// diskPrev is the previous generation's shard files, touched only by
+	// writer-goroutine jobs — the writer's serial execution is its lock.
+	ckw      *ckpt.Writer
+	diskPrev []string
 
 	done         chan struct{}
 	tickerStop   chan struct{}
@@ -291,7 +424,29 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		nd.eng = eng
 	}
+	// Persistent epoch workers and the checkpoint writer start last so
+	// no error path above leaks a goroutine. Stop closes both.
+	for _, nd := range c.nodes {
+		nd.epochC = make(chan epochMsg, 1)
+		go nd.epochWorker()
+	}
+	if cfg.CheckpointPath != "" {
+		c.ckw = ckpt.NewWriter(cfg.Logf)
+	}
 	return c, nil
+}
+
+// epoch broadcasts one barrier to every shard worker and waits for all
+// of them: the per-slot synchronization cost is N buffered channel sends
+// plus one WaitGroup wait, with no goroutine creation. Callers hold c.mu
+// (which serializes epochs) and must have checked clockStopped.
+func (c *Cluster) epoch(msg epochMsg) {
+	c.epochWG.Add(len(c.nodes))
+	msg.wg = &c.epochWG
+	for _, nd := range c.nodes {
+		nd.epochC <- msg
+	}
+	c.epochWG.Wait()
 }
 
 // Start launches every shard engine, the done watcher, and — with a
@@ -346,39 +501,28 @@ func (c *Cluster) Tick() error {
 }
 
 func (c *Cluster) tickLocked() error {
+	if c.clockStopped {
+		return serve.ErrStopped
+	}
 	// Cross-partition handovers fire before the shards tick, so a
 	// request handed over at slot t is schedulable at its new station in
 	// slot t — the same slot a single engine's drift script re-points it.
 	if c.crossCur < len(c.crossHandovers) {
 		c.applyCrossHandoversLocked()
 	}
-	if cap(c.tickErrs) < len(c.nodes) {
-		c.tickErrs = make([]error, len(c.nodes))
-	}
-	errs := c.tickErrs[:len(c.nodes)]
-	for i := range errs {
-		errs[i] = nil
-	}
-	var wg sync.WaitGroup
-	for i, nd := range c.nodes {
-		if !nd.eng.Alive() {
-			errs[i] = serve.ErrStopped
-			continue
-		}
-		wg.Add(1)
-		go func(i int, nd *shardNode) {
-			defer wg.Done()
-			errs[i] = nd.eng.Tick()
-		}(i, nd)
-	}
-	wg.Wait()
+	// One barrier runs the slot on every shard worker, fused with the
+	// previous slot's deferred feedback and — on sweep slots — the
+	// free-capacity refresh the migration pricing needs.
+	wantFree := c.cfg.MigrationEvery > 0 && (c.slot+1)%c.cfg.MigrationEvery == 0
+	c.epoch(epochMsg{op: epTick, fbSlot: c.fbSlot, fbReward: c.fbReward, hasFB: c.fbValid, wantFree: wantFree})
+	c.fbValid = false
 	alive := 0
-	for _, err := range errs {
+	for _, nd := range c.nodes {
 		switch {
-		case err == nil:
+		case nd.err == nil:
 			alive++
-		case !errors.Is(err, serve.ErrStopped):
-			return err
+		case !errors.Is(nd.err, serve.ErrStopped):
+			return nd.err
 		}
 	}
 
@@ -388,39 +532,49 @@ func (c *Cluster) tickLocked() error {
 	for _, nd := range c.nodes {
 		for _, r := range nd.takeReports() {
 			total += r.reward
-			for _, ext := range r.admitted {
-				if g, ok := c.router.globalOf(nd.idx, ext); ok {
-					admitted = append(admitted, g)
-				}
-			}
+			admitted = c.router.appendGlobals(admitted, nd.idx, r.admitted)
 		}
 	}
 	c.tickAdmitted = admitted
-	for _, nd := range c.nodes {
-		if !nd.eng.Alive() {
-			continue
-		}
-		if err := nd.eng.DeliverFeedback(t, total); err != nil && !errors.Is(err, serve.ErrStopped) {
-			return err
-		}
-	}
+	// Defer the globally aggregated reward to the next epoch: the
+	// learners see feedback(t) before Step(t+1), exactly as the serial
+	// DeliverFeedback loop delivered it, at no extra barrier.
+	c.fbSlot, c.fbReward, c.fbValid = t, total, true
 	c.slot++
 	c.lastTickNano.Store(time.Now().UnixNano())
 
 	if c.cfg.SlotObserver != nil {
-		sort.Slice(admitted, func(a, b int) bool { return admitted[a] < admitted[b] })
+		slices.Sort(admitted)
 		c.cfg.SlotObserver(t, admitted, total)
 	}
-	if c.cfg.MigrationEvery > 0 && c.slot%c.cfg.MigrationEvery == 0 {
+	if wantFree {
 		c.sweepLocked()
 	}
 	if c.cfg.CheckpointPath != "" && c.slot%c.cfg.CheckpointEvery == 0 {
-		if err := c.checkpointLocked(); err != nil {
+		if err := c.checkpointLocked(!c.cfg.AsyncCheckpoint); err != nil {
 			c.cfg.Logf("cluster: checkpoint failed: %v", err)
 		}
 	}
 	if alive == 0 {
 		return serve.ErrStopped
+	}
+	return nil
+}
+
+// settleFeedbackLocked delivers any pending deferred feedback now, via
+// an epSettle barrier. Checkpoints call it first so the captured bandit
+// state is post-feedback — byte-identical to what the pre-fusion serial
+// schedule wrote — and a restored cluster starts with no feedback owed.
+func (c *Cluster) settleFeedbackLocked() error {
+	if !c.fbValid {
+		return nil
+	}
+	c.epoch(epochMsg{op: epSettle, fbSlot: c.fbSlot, fbReward: c.fbReward, hasFB: true})
+	c.fbValid = false
+	for _, nd := range c.nodes {
+		if nd.err != nil {
+			return nd.err
+		}
 	}
 	return nil
 }
@@ -617,19 +771,32 @@ func (c *Cluster) Drain() error {
 	return nil
 }
 
-// Stop writes a final manifest and halts every shard.
+// Stop writes a final manifest — synchronously, even with
+// AsyncCheckpoint, so the newest generation is on disk when Stop
+// returns — then retires the epoch workers and the checkpoint writer
+// and halts every shard.
 func (c *Cluster) Stop() error {
 	var err error
 	c.stopOnce.Do(func() {
 		close(c.tickerStop)
 		c.mu.Lock()
 		if c.cfg.CheckpointPath != "" {
-			if cerr := c.checkpointLocked(); cerr != nil {
+			if cerr := c.checkpointLocked(true); cerr != nil {
 				c.cfg.Logf("cluster: final manifest failed: %v", cerr)
 				err = cerr
 			}
 		}
+		// Mark the clock dead BEFORE closing the worker channels: a Tick
+		// blocked on c.mu across this critical section sees clockStopped
+		// instead of sending on a closed channel.
+		c.clockStopped = true
+		for _, nd := range c.nodes {
+			close(nd.epochC)
+		}
 		c.mu.Unlock()
+		if c.ckw != nil {
+			c.ckw.Close()
+		}
 		for _, nd := range c.nodes {
 			if serr := nd.eng.Stop(); serr != nil && !errors.Is(serr, serve.ErrStopped) && err == nil {
 				err = serr
@@ -637,6 +804,23 @@ func (c *Cluster) Stop() error {
 		}
 	})
 	return err
+}
+
+// WaitCheckpoints blocks until every asynchronously submitted manifest
+// generation has reached disk. A no-op without a checkpoint path.
+func (c *Cluster) WaitCheckpoints() {
+	if c.ckw != nil {
+		c.ckw.Wait()
+	}
+}
+
+// CheckpointsDropped reports how many extracted snapshot generations
+// were superseded by a newer one before reaching disk.
+func (c *Cluster) CheckpointsDropped() uint64 {
+	if c.ckw == nil {
+		return 0
+	}
+	return c.ckw.Dropped()
 }
 
 // Done is closed when every shard engine has exited.

@@ -184,6 +184,10 @@ func (c *Cluster) WriteProm(w io.Writer) error {
 	p("# TYPE arserved_cluster_checkpoints_total counter\n")
 	p("arserved_cluster_checkpoints_total %d\n", c.checkpoints.Load())
 
+	p("# HELP arserved_cluster_checkpoints_dropped_total Async snapshot generations superseded before reaching disk.\n")
+	p("# TYPE arserved_cluster_checkpoints_dropped_total counter\n")
+	p("arserved_cluster_checkpoints_dropped_total %d\n", c.CheckpointsDropped())
+
 	p("# HELP arserved_cluster_requests_total Per-shard requests by terminal result.\n")
 	p("# TYPE arserved_cluster_requests_total counter\n")
 	for k, nd := range c.nodes {

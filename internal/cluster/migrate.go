@@ -60,29 +60,6 @@ func (c *Cluster) MigratedCounts() (in, out []uint64) {
 	return in, out
 }
 
-// freeFractions returns each shard's spare-capacity fraction: occupancy
-// from its engine's station gauges against the sub-network's EFFECTIVE
-// capacities, so a shard mid-outage stops attracting migrations instead
-// of advertising its dark stations' nominal MHz. A shard with no
-// effective capacity counts as fully loaded.
-func (c *Cluster) freeFractions() []float64 {
-	out := make([]float64, len(c.nodes))
-	for k, nd := range c.nodes {
-		if !nd.eng.Alive() {
-			continue
-		}
-		var used, cap float64
-		for _, g := range nd.eng.Gauges() {
-			used += g.UsedMHz
-			cap += nd.subnet.Capacity(g.Station)
-		}
-		if cap > 0 {
-			out[k] = (cap - used) / cap
-		}
-	}
-	return out
-}
-
 // shrinkDeadline returns the deadline budget a request has left after
 // waiting `waited` slots at its current shard. A migrated request
 // re-enters the target's intake with this shrunk deadline, so the
@@ -98,9 +75,11 @@ func shrinkDeadline(spec serve.RequestSpec, waited int, slotMS float64) float64 
 
 // sweepLocked runs one migration round under the cluster clock lock:
 // every still-pending spanning request is proposed against the shard
-// with the most spare capacity among its candidate owners, priced by
-// the free-fraction advantage, and committed through the two-phase
-// handoff — phase one extracts the request from its source shard's
+// with the most spare capacity among its candidate owners — using the
+// free-capacity fractions the shard workers computed inside this slot's
+// tick epoch (shardNode.computeFreeFrac), so the sweep itself touches no
+// engine gauges — priced by the free-fraction advantage, and committed
+// through the two-phase handoff — phase one extracts the request from its source shard's
 // planner (aborting benignly if it settled or started running first),
 // phase two submits it to the target with a deadline shrunk by the time
 // already waited. A refused phase two compensates by re-submitting to
@@ -111,7 +90,6 @@ func (c *Cluster) sweepLocked() {
 	if len(work) == 0 {
 		return
 	}
-	free := c.freeFractions()
 	committed := 0
 	for _, sc := range work {
 		if committed >= c.cfg.MigrationBurst {
@@ -128,7 +106,7 @@ func (c *Cluster) sweepLocked() {
 			if k == sc.shard || !c.nodes[k].eng.Alive() {
 				continue
 			}
-			if adv := free[k] - free[sc.shard]; target < 0 || adv > best {
+			if adv := c.nodes[k].freeFrac - c.nodes[sc.shard].freeFrac; target < 0 || adv > best {
 				target, best = k, adv
 			}
 		}

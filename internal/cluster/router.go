@@ -186,6 +186,21 @@ func (rt *router) globalOf(shard int, ext uint64) (uint64, bool) {
 	return g, ok
 }
 
+// appendGlobals resolves a batch of one shard's local ids under a single
+// read-lock acquisition, appending the hits to dst. The tick loop's
+// reward aggregation uses it instead of a per-id globalOf round-trip.
+func (rt *router) appendGlobals(dst []uint64, shard int, exts []uint64) []uint64 {
+	rt.mu.RLock()
+	m := rt.ext2global[shard]
+	for _, ext := range exts {
+		if g, ok := m[ext]; ok {
+			dst = append(dst, g)
+		}
+	}
+	rt.mu.RUnlock()
+	return dst
+}
+
 // spanCandidate is one migration-sweep worklist entry.
 type spanCandidate struct {
 	global uint64

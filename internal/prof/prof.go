@@ -11,6 +11,26 @@ import (
 	"runtime/pprof"
 )
 
+// EnableContentionProfiles turns on the runtime's blocking and mutex
+// profiles, which stay empty until sampled: blockRate is the
+// nanoseconds-blocked threshold fed to runtime.SetBlockProfileRate (1
+// records every event; 0 leaves blocking profiling off) and
+// mutexFraction the sampling rate fed to
+// runtime.SetMutexProfileFraction (1 records every contended lock; 0
+// leaves mutex profiling off). The profiles are then readable from the
+// net/http/pprof endpoint (/debug/pprof/block, /debug/pprof/mutex),
+// which is how a stalled cluster clock — shard workers blocked on the
+// epoch barrier, or the checkpoint writer contending the clock lock —
+// is diagnosed in place.
+func EnableContentionProfiles(blockRate, mutexFraction int) {
+	if blockRate > 0 {
+		runtime.SetBlockProfileRate(blockRate)
+	}
+	if mutexFraction > 0 {
+		runtime.SetMutexProfileFraction(mutexFraction)
+	}
+}
+
 // Start begins CPU profiling when cpuPath is non-empty and returns a
 // stop function that must be called exactly once, after the profiled
 // work finishes: it stops the CPU profile and, when memPath is

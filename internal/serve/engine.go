@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"mecoffload/internal/bandit"
+	"mecoffload/internal/ckpt"
 	"mecoffload/internal/core"
 	"mecoffload/internal/dist"
 	"mecoffload/internal/mec"
@@ -98,6 +99,16 @@ type Config struct {
 	// CheckpointEvery ticks (default 50) and at shutdown.
 	CheckpointPath  string
 	CheckpointEvery int
+	// AsyncCheckpoint moves periodic checkpoint I/O off the loop
+	// goroutine: the slot boundary only extracts a copy-on-write
+	// snapshot, and JSON encoding, the temp-file write, fsync, and the
+	// atomic rename run on a dedicated single-flight writer goroutine
+	// (internal/ckpt). A snapshot queued behind an unfinished write is
+	// replaced by the next one (latest wins); explicit CheckpointNow,
+	// drain, and Stop checkpoints remain synchronous through the same
+	// writer, so the final state is always durable and never clobbered
+	// by an older in-flight write's rename.
+	AsyncCheckpoint bool
 	// Restore, when non-nil, seeds the engine from an in-memory
 	// checkpoint instead of loading CheckpointPath. The cluster layer
 	// uses it to hand each shard its slice of a composed cluster
@@ -197,6 +208,12 @@ type Engine struct {
 	snapC    chan snapMsg
 	extractC chan extractMsg
 
+	// ckw is the single-flight background checkpoint writer, non-nil
+	// only with Config.AsyncCheckpoint and a CheckpointPath. The loop
+	// goroutine owns submission; the loop's exit closes it (draining the
+	// last pending write) before loopDone closes.
+	ckw *ckpt.Writer
+
 	// retryRng is the engine-scoped Retry-After jitter stream, seeded
 	// from Config.RetrySeed via internal/rnd so overload behaviour
 	// replays deterministically. Guarded by retryMu: HTTP handlers hit
@@ -257,12 +274,17 @@ const (
 	ctlStop
 	ctlFlushRing
 	ctlFeedback
+	// ctlTickFeedback fuses a deferred-feedback delivery with the next
+	// slot: the loop applies the reward, then runs the slot, all in one
+	// control round-trip. The cluster's shard workers use it so
+	// tick+feedback cost one epoch barrier instead of two.
+	ctlTickFeedback
 )
 
 type controlMsg struct {
 	kind  controlKind
 	reply chan error
-	// ctlFeedback payload (see DeliverFeedback).
+	// ctlFeedback / ctlTickFeedback payload (see DeliverFeedback).
 	slot   int
 	reward float64
 }
@@ -392,6 +414,10 @@ func New(cfg Config) (*Engine, error) {
 		e.seedRegistry(ck)
 	} else if err := e.installEmpty(); err != nil {
 		return nil, err
+	}
+	// Started last so no error path above leaks the writer goroutine.
+	if cfg.AsyncCheckpoint && cfg.CheckpointPath != "" {
+		e.ckw = ckpt.NewWriter(cfg.Logf)
 	}
 	return e, nil
 }
@@ -770,6 +796,23 @@ func (e *Engine) Tick() error { return e.controlCall(ctlTick) }
 // CheckpointNow writes a checkpoint immediately.
 func (e *Engine) CheckpointNow() error { return e.controlCall(ctlCheckpoint) }
 
+// WaitCheckpoints blocks until every asynchronously submitted checkpoint
+// write has reached disk. A no-op without Config.AsyncCheckpoint.
+func (e *Engine) WaitCheckpoints() {
+	if e.ckw != nil {
+		e.ckw.Wait()
+	}
+}
+
+// CheckpointsDropped reports how many async snapshots were superseded by
+// a newer one before reaching disk (always 0 without AsyncCheckpoint).
+func (e *Engine) CheckpointsDropped() uint64 {
+	if e.ckw == nil {
+		return 0
+	}
+	return e.ckw.Dropped()
+}
+
 // Snapshot captures the engine's live state as an in-memory checkpoint
 // without touching disk. It reflects only requests the planner has seen:
 // callers who need batched-ingest residue included (the cluster
@@ -814,21 +857,15 @@ func (e *Engine) Extract(ext uint64) (RequestSpec, int, error) {
 // Config.DeferFeedback set; a no-op for schedulers without learning
 // feedback.
 func (e *Engine) DeliverFeedback(slot int, reward float64) error {
-	reply := ctlReplyPool.Get().(chan error)
-	msg := controlMsg{kind: ctlFeedback, slot: slot, reward: reward, reply: reply}
-	select {
-	case e.control <- msg:
-	case <-e.loopDone:
-		ctlReplyPool.Put(reply)
-		return ErrStopped
-	}
-	select {
-	case err := <-msg.reply:
-		ctlReplyPool.Put(reply)
-		return err
-	case <-e.loopDone:
-		return ErrStopped
-	}
+	return e.sendControl(controlMsg{kind: ctlFeedback, slot: slot, reward: reward})
+}
+
+// TickWithFeedback delivers slot fbSlot's aggregated reward and then
+// runs the next slot in a single control round-trip — the fused epoch
+// message the cluster's persistent shard workers send so a tick plus its
+// deferred feedback cost one barrier, not a barrier and a serial loop.
+func (e *Engine) TickWithFeedback(fbSlot int, reward float64) error {
+	return e.sendControl(controlMsg{kind: ctlTickFeedback, slot: fbSlot, reward: reward})
 }
 
 // Drain stops intake (Submit fails with ErrDraining) and lets the engine
@@ -903,8 +940,14 @@ func (e *Engine) Ready() bool {
 
 // controlCall sends a control message and waits for the loop's reply.
 func (e *Engine) controlCall(kind controlKind) error {
+	return e.sendControl(controlMsg{kind: kind})
+}
+
+// sendControl attaches a pooled reply channel to msg, sends it to the
+// loop, and waits for the reply.
+func (e *Engine) sendControl(msg controlMsg) error {
 	reply := ctlReplyPool.Get().(chan error)
-	msg := controlMsg{kind: kind, reply: reply}
+	msg.reply = reply
 	select {
 	case e.control <- msg:
 	case <-e.loopDone:
@@ -925,6 +968,11 @@ func (e *Engine) controlCall(kind controlKind) error {
 // goroutine that advances the scheduler and its bandit.
 func (e *Engine) loop() {
 	defer close(e.loopDone)
+	if e.ckw != nil {
+		// LIFO: the writer drains its last pending checkpoint before
+		// loopDone closes, so Done() implies durability.
+		defer e.ckw.Close()
+	}
 
 	var tickC <-chan time.Time
 	if e.cfg.TickInterval > 0 {
@@ -967,6 +1015,15 @@ func (e *Engine) loop() {
 					fb.Feedback(msg.slot, msg.reward)
 				}
 				msg.reply <- nil
+			case ctlTickFeedback:
+				if fb, ok := e.sched.(sim.FeedbackScheduler); ok {
+					fb.Feedback(msg.slot, msg.reward)
+				}
+				e.runSlot()
+				msg.reply <- nil
+				if e.drainComplete() {
+					return
+				}
 			case ctlDrain:
 				// Quiesce the ingest path before raising the drain flag:
 				// requests already accepted into the stage or ring become
@@ -1265,7 +1322,7 @@ func (e *Engine) runSlot() {
 		}
 	}
 	if e.cfg.CheckpointPath != "" && e.slot%e.cfg.CheckpointEvery == 0 {
-		if err := e.checkpoint(); err != nil {
+		if err := e.periodicCheckpoint(); err != nil {
 			e.cfg.Logf("arserved: checkpoint failed: %v", err)
 		}
 	}
@@ -1312,7 +1369,43 @@ func (e *Engine) snapshotState() (*Checkpoint, error) {
 	return ck, nil
 }
 
-// checkpoint writes the current state to disk (loop goroutine only).
+// writeJob returns the disk half of a checkpoint: encode, temp-file
+// write, fsync, rename. The snapshot is copy-on-write (snapshotState
+// deep-copies everything mutable), so the closure is safe to run on the
+// writer goroutine while the loop keeps scheduling.
+func (e *Engine) writeJob(ck *Checkpoint) func() error {
+	return func() error {
+		if err := WriteCheckpoint(e.cfg.CheckpointPath, ck); err != nil {
+			return err
+		}
+		e.metrics.Checkpoints.Inc()
+		return nil
+	}
+}
+
+// periodicCheckpoint is runSlot's cadence checkpoint (loop goroutine
+// only). With the async writer it only extracts the snapshot and hands
+// the write off fire-and-forget (latest-wins if a write is still in
+// flight); otherwise it writes inline.
+func (e *Engine) periodicCheckpoint() error {
+	if e.cfg.CheckpointPath == "" {
+		return nil
+	}
+	ck, err := e.snapshotState()
+	if err != nil {
+		return err
+	}
+	if e.ckw != nil {
+		return e.ckw.Submit(e.writeJob(ck))
+	}
+	return e.writeJob(ck)()
+}
+
+// checkpoint writes the current state to disk synchronously (loop
+// goroutine only): CheckpointNow, drain completion, and Stop land here.
+// With the async writer the write still routes through it (SubmitWait),
+// which both flushes any older in-flight write and guarantees this —
+// newest — snapshot performs the final rename.
 func (e *Engine) checkpoint() error {
 	if e.cfg.CheckpointPath == "" {
 		return nil
@@ -1321,11 +1414,10 @@ func (e *Engine) checkpoint() error {
 	if err != nil {
 		return err
 	}
-	if err := WriteCheckpoint(e.cfg.CheckpointPath, ck); err != nil {
-		return err
+	if e.ckw != nil {
+		return e.ckw.SubmitWait(e.writeJob(ck))
 	}
-	e.metrics.Checkpoints.Inc()
-	return nil
+	return e.writeJob(ck)()
 }
 
 // compact rebuilds the planner from the live set, dropping the settled
